@@ -1,0 +1,34 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper via :mod:`repro.analysis.experiments`, times it with
+pytest-benchmark, prints the rendered ASCII artifact, and asserts its
+qualitative shape.
+
+Workload scale is controlled with ``REPRO_SCALE`` (default 0.2 here to
+keep the full harness to a few minutes) and ``REPRO_SUITE``.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "0.2")
+os.environ.setdefault("REPRO_SUITE", "full")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment exactly once under the benchmark timer and
+    print its rendered table."""
+    from repro.analysis.report import render
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1,
+        )
+        print()
+        print(render(result))
+        return result
+
+    return runner

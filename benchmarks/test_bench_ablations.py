@@ -1,0 +1,18 @@
+"""Ablations beyond the paper: each ingredient of the proposal earns
+its keep at the 64-entry 2-way design point (see DESIGN.md)."""
+
+from repro.analysis.experiments import ablations
+
+
+def test_bench_ablations(run_experiment):
+    result = run_experiment(ablations)
+    rows = {r[0]: (r[1], r[2]) for r in result.rows}
+    full_ipc, full_miss = rows["full use-based"]
+    # No single ablation should dramatically beat the full design.
+    for label, (ipc, _miss) in rows.items():
+        assert ipc <= full_ipc + 0.02, (
+            f"{label} unexpectedly beats the full design by a wide margin"
+        )
+    # Disabling the predictor entirely must not reduce the miss rate:
+    # defaults alone cannot filter as precisely.
+    assert rows["no predictor (defaults only)"][0] <= full_ipc + 0.02

@@ -1,0 +1,25 @@
+"""F10: write-filtering effects (Figure 10).
+
+Shapes to reproduce: the filtering schemes sharply reduce the fraction
+of cached-but-never-read values versus LRU; use-based filters at least
+as many initial writes as non-bypass yet leaves the largest fraction of
+values never cached at all.
+"""
+
+from repro.analysis.experiments import fig10_filtering
+
+
+def test_bench_fig10(run_experiment):
+    result = run_experiment(fig10_filtering)
+    rows = {r[0]: r[1:] for r in result.rows}
+    # columns: cached never read, writes filtered, never cached
+
+    assert rows["use_based"][0] < rows["lru"][0], (
+        "use-based caches far fewer dead values than LRU"
+    )
+    assert rows["non_bypass"][0] < rows["lru"][0]
+    assert rows["lru"][1] == 0, "LRU filters no writes"
+    assert rows["use_based"][2] >= rows["non_bypass"][2] * 0.9, (
+        "use-based leaves at least as many values never cached"
+    )
+    assert rows["lru"][2] <= 0.01, "LRU caches every value"

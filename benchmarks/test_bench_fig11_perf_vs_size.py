@@ -1,0 +1,38 @@
+"""F11: performance vs cache/L1 size for all schemes (Figure 11).
+
+Shapes to reproduce: use-based wins among the caches at small-to-medium
+sizes, with an advantage that grows as the cache shrinks; a 4-way
+use-based cache reaches the 64-entry 2-way performance with fewer
+entries; the 64-entry use-based cache beats the 3-cycle register file;
+the two-level file falls off at small L1 sizes.
+"""
+
+from repro.analysis.experiments import fig11_perf_vs_size
+
+
+def test_bench_fig11(run_experiment):
+    result = run_experiment(fig11_perf_vs_size, sizes=(16, 32, 64))
+    rows = {r[0]: r[1:] for r in result.rows if isinstance(r[0], int)}
+    rf3 = next(r[5] for r in result.rows if r[0] == "RF 3-cyc")
+    # columns: lru, non_bypass, use_based, use_based 4w, two_level
+
+    # Use-based beats the other caching schemes at 16 and 32 entries.
+    for size in (16, 32):
+        lru, non_bypass, use_based, _, _ = rows[size]
+        assert use_based > lru, f"use-based <= LRU at {size}"
+        assert use_based > non_bypass, f"use-based <= non-bypass at {size}"
+
+    # Advantage grows as the cache shrinks.
+    margin_small = rows[16][2] - rows[16][0]
+    margin_large = rows[64][2] - rows[64][0]
+    assert margin_small > margin_large
+
+    # 4-way at 32 entries is at least close to 2-way at 64 (paper: 48
+    # entries suffice).
+    assert rows[32][3] >= rows[64][2] - 0.01
+
+    # Design point beats the 3-cycle monolithic file.
+    assert rows[64][2] > rf3
+
+    # Two-level degrades as its L1 shrinks.
+    assert rows[16][4] <= rows[64][4]

@@ -1,0 +1,34 @@
+"""F12: performance vs backing file / L2 latency (Figure 12).
+
+Shapes to reproduce: every caching scheme degrades with backing
+latency, use-based degrades the least among the caches; the two-level
+file is least sensitive (its L2 is off the common path); use-based with
+a 2-cycle backing file beats the 3-cycle monolithic register file.
+"""
+
+from repro.analysis.experiments import fig12_backing_latency
+
+
+def test_bench_fig12(run_experiment):
+    result = run_experiment(fig12_backing_latency, latencies=(1, 2, 5))
+    rows = {r[0]: r[1:] for r in result.rows if isinstance(r[0], int)}
+    rf3 = next(r[3] for r in result.rows if r[0] == "RF 3-cyc")
+    # columns: lru, non_bypass, use_based, two_level
+
+    # Monotone (within tolerance) degradation for the caches.
+    for col in range(3):
+        assert rows[5][col] <= rows[1][col] + 0.02
+
+    # Use-based degrades least among the caches (relative drop 1 -> 5).
+    def drop(col):
+        return (rows[1][col] - rows[5][col]) / rows[1][col]
+
+    assert drop(2) <= drop(0) + 0.02, "use-based vs lru sensitivity"
+    assert drop(2) <= drop(1) + 0.02, "use-based vs non-bypass sensitivity"
+
+    # Two-level is least latency-sensitive of all.
+    tl_drop = (rows[1][3] - rows[5][3]) / rows[1][3]
+    assert tl_drop <= drop(2) + 0.02
+
+    # Design point (backing latency 2) beats the 3-cycle file.
+    assert rows[2][2] > rf3

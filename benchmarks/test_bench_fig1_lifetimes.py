@@ -1,0 +1,17 @@
+"""F1: register lifetime phases (Figure 1).
+
+Shape to reproduce: values are live for a short slice of the register's
+lifetime — the median live time is small compared with empty + dead.
+"""
+
+from repro.analysis.experiments import fig1_lifetimes
+
+
+def test_bench_fig1(run_experiment):
+    result = run_experiment(fig1_lifetimes)
+    mean_row = next(r for r in result.rows if r[0] == "MEAN")
+    _, empty, live, dead = mean_row
+    assert live < empty + dead, (
+        "live time should be a small slice of the register lifetime"
+    )
+    assert dead > 0, "registers spend cycles dead before being freed"

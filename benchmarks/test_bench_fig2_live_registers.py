@@ -1,0 +1,22 @@
+"""F2: allocated vs live register distributions (Figure 2).
+
+Shape to reproduce: the median number of live values is a small fraction
+of the number of allocated physical registers, and the 90th-percentile
+live count sits far below the 512-register file size (the paper reports
+56).
+"""
+
+from repro.analysis.experiments import fig2_occupancy_cdf
+
+
+def test_bench_fig2(run_experiment):
+    result = run_experiment(fig2_occupancy_cdf)
+    live_p50 = result.meta["live_p50"]
+    alloc_p50 = result.meta["alloc_p50"]
+    live_p90 = result.meta["live_p90"]
+    assert live_p50 < 0.5 * alloc_p50, (
+        "median live values should be well below allocated registers"
+    )
+    assert live_p90 < 128, (
+        "p90 live values should be far below the 512-entry register file"
+    )

@@ -1,0 +1,33 @@
+"""F6: cache size and organization sweep (Figure 6).
+
+Shapes to reproduce: associativity matters most; higher associativity
+never hurts at fixed size; performance rises with size; the 64-entry
+2-way cache beats the 3-cycle monolithic register file; direct-mapped
+caches trail badly.
+"""
+
+from repro.analysis.experiments import fig6_size_assoc
+
+
+def _numeric(rows):
+    return {r[0]: r[1:] for r in rows if isinstance(r[0], int)}
+
+
+def test_bench_fig6(run_experiment):
+    result = run_experiment(
+        fig6_size_assoc, sizes=(16, 32, 64, 128), assocs=(1, 2, 4, 0)
+    )
+    by_size = _numeric(result.rows)
+    rf3 = next(r[4] for r in result.rows if r[0] == "RF 3-cycle")
+
+    # Associativity helps (or at least never hurts much) at every size.
+    for size, (direct, two_way, four_way, full) in by_size.items():
+        assert two_way >= direct - 0.01, f"2-way < DM at {size}"
+        assert four_way >= two_way - 0.01, f"4-way < 2-way at {size}"
+        assert full >= four_way - 0.01, f"full < 4-way at {size}"
+
+    # Size helps within an organization.
+    assert by_size[128][1] >= by_size[16][1]
+
+    # The chosen design point (64-entry 2-way) beats the 3-cycle file.
+    assert by_size[64][1] > rf3

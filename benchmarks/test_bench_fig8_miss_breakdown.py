@@ -1,0 +1,34 @@
+"""F8: miss-rate breakdown by cause (Figure 8).
+
+Shapes to reproduce: LRU has no filtered misses (it writes everything);
+non-bypass's filtered misses push its total above LRU's; use-based
+filtering keeps the total below non-bypass; decoupled indexing reduces
+conflict misses for every scheme.
+"""
+
+from repro.analysis.experiments import fig8_miss_breakdown
+
+
+def test_bench_fig8(run_experiment):
+    result = run_experiment(fig8_miss_breakdown)
+    rows = {(r[0], r[1]): r[2:] for r in result.rows}
+    # columns: filtered, capacity, conflict, total
+
+    assert rows[("lru", "standard")][0] == 0, "LRU never filters writes"
+    assert rows[("lru", "decoupled")][0] == 0
+
+    nb_total = rows[("non_bypass", "decoupled")][3]
+    lru_total = rows[("lru", "decoupled")][3]
+    ub_total = rows[("use_based", "decoupled")][3]
+    assert nb_total > lru_total, (
+        "non-bypass filtered misses should exceed LRU's total at 64"
+    )
+    assert ub_total < nb_total, "use-based filtering beats non-bypass"
+
+    # Decoupled indexing cuts conflicts for each scheme.
+    for scheme in ("lru", "non_bypass", "use_based"):
+        standard = rows[(scheme, "standard")][2]
+        decoupled = rows[(scheme, "decoupled")][2]
+        assert decoupled <= standard * 1.05, (
+            f"{scheme}: decoupled indexing should not add conflicts"
+        )

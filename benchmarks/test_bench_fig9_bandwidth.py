@@ -1,0 +1,26 @@
+"""F9: access bandwidth by structure (Figure 9).
+
+Shapes to reproduce: write-filtering schemes have lower cache write
+bandwidth than LRU; the register (backing) file write bandwidth sees
+every produced value and is similar across schemes; RF read bandwidth
+tracks the miss rate.
+"""
+
+from repro.analysis.experiments import fig9_bandwidth
+
+
+def test_bench_fig9(run_experiment):
+    result = run_experiment(fig9_bandwidth)
+    rows = {r[0]: r[1:] for r in result.rows}
+    # columns: cache rd, cache wr, RF rd, RF wr
+
+    assert rows["use_based"][1] < rows["lru"][1], (
+        "use-based filtering lowers cache write bandwidth vs LRU"
+    )
+    assert rows["non_bypass"][1] < rows["lru"][1]
+
+    for scheme, (cache_rd, cache_wr, rf_rd, rf_wr) in rows.items():
+        assert cache_rd > 0 and rf_wr > 0
+        assert rf_rd < cache_rd, (
+            f"{scheme}: the cache must filter most reads from the RF"
+        )

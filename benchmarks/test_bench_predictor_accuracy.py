@@ -1,0 +1,11 @@
+"""S33: degree-of-use predictor accuracy (paper §3.3, reports ~97%)."""
+
+from repro.analysis.experiments import predictor_accuracy
+
+
+def test_bench_predictor(run_experiment):
+    result = run_experiment(predictor_accuracy)
+    all_row = next(r for r in result.rows if r[0] == "ALL")
+    _, accuracy, coverage = all_row
+    assert accuracy > 0.9, "aggregate accuracy should be near the paper's 97%"
+    assert coverage > 0.7, "the predictor should supply most predictions"

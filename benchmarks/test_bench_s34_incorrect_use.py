@@ -1,0 +1,25 @@
+"""S34: incorrect use information (paper §3.4).
+
+Shape to reproduce: degrading the use information (modelling wrong-path
+use counting and mispredictions) raises the miss rate and lowers
+accuracy, but performance degrades gracefully — the paper argues stale
+values are bounded by invalidation-at-free and falsely-dead values are
+masked by lazy eviction and the bypass network.
+"""
+
+from repro.analysis.experiments import incorrect_use_info
+
+
+def test_bench_s34(run_experiment):
+    result = run_experiment(
+        incorrect_use_info, noise_levels=(0.0, 0.3, 0.6)
+    )
+    rows = {r[0]: r[1:] for r in result.rows}
+    # columns: mean ipc, miss rate, pred accuracy
+
+    assert rows[0.6][2] < rows[0.0][2], "noise must lower accuracy"
+    assert rows[0.6][1] >= rows[0.0][1] - 1e-6, (
+        "noise should not reduce the miss rate"
+    )
+    # Graceful degradation: even 60% training noise costs little IPC.
+    assert rows[0.6][0] > rows[0.0][0] * 0.9

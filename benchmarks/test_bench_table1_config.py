@@ -1,0 +1,10 @@
+"""T1: the simulated machine matches the paper's Table 1."""
+
+from repro.analysis.experiments import table1_config
+
+
+def test_bench_table1(run_experiment):
+    result = run_experiment(table1_config)
+    for row in result.rows:
+        parameter, ours, paper = row
+        assert ours == paper, f"{parameter}: {ours} != {paper}"

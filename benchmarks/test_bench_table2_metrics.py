@@ -1,0 +1,28 @@
+"""T2: register cache metric comparison (Table 2).
+
+Shapes to reproduce (paper values LRU / non-bypass / use-based):
+reads per cached value 0.67 / 1.18 / 1.67 — use-based highest;
+cache count 1.09 / 0.61 / 0.44 — use-based lowest, LRU >= 1;
+occupancy 36.7 / 28.8 / 26.6 — LRU highest;
+entry lifetime 25.2 / 36.3 / 43.6 — use-based longest.
+"""
+
+from repro.analysis.experiments import table2_metrics
+
+
+def test_bench_table2(run_experiment):
+    result = run_experiment(table2_metrics)
+    rows = {r[0]: r[1:] for r in result.rows}
+    # columns: reads/cached value, cache count, occupancy, lifetime
+
+    assert (
+        rows["use_based"][0] > rows["non_bypass"][0] > rows["lru"][0]
+    ), "reads per cached value ordering"
+    assert (
+        rows["lru"][1] > rows["non_bypass"][1] > rows["use_based"][1]
+    ), "cache count ordering"
+    assert rows["lru"][1] >= 0.99, "LRU caches every value at least once"
+    assert rows["lru"][2] > rows["use_based"][2], "occupancy ordering"
+    assert (
+        rows["use_based"][3] > rows["non_bypass"][3] > rows["lru"][3]
+    ), "entry lifetime ordering"

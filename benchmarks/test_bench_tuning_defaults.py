@@ -1,0 +1,23 @@
+"""S53b: unknown and fill defaults (paper §5.3).
+
+Shape to reproduce: an unknown default of 1 is at or near the best
+(most values have one use); extreme defaults in either direction do not
+beat it by much.
+"""
+
+from repro.analysis.experiments import tuning_defaults
+
+
+def test_bench_tuning_defaults(run_experiment):
+    result = run_experiment(
+        tuning_defaults, unknown_values=(0, 1, 3), fill_values=(0, 2)
+    )
+    unknown = {r[1]: r[2] for r in result.rows if r[0] == "unknown"}
+    fill = {r[1]: r[2] for r in result.rows if r[0] == "fill"}
+    best_unknown = max(unknown.values())
+    assert unknown[1] >= best_unknown - 0.01, (
+        "unknown default of 1 should be near-optimal"
+    )
+    assert fill[0] >= fill[2] - 0.01, (
+        "fill default of 0 should not lose to 2"
+    )

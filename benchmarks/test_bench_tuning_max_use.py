@@ -1,0 +1,18 @@
+"""S53a: IPC versus the maximum representable use count (paper §5.3).
+
+Shape to reproduce: very low limits pin too many values and hurt; the
+curve improves toward the paper's chosen limit of 7 and is roughly flat
+beyond it.
+"""
+
+from repro.analysis.experiments import tuning_max_use
+
+
+def test_bench_tuning_max_use(run_experiment):
+    result = run_experiment(tuning_max_use, values=(2, 3, 7, 12))
+    by_value = {r[0]: r[1] for r in result.rows}
+    assert by_value[7] >= by_value[2] - 0.005, (
+        "max_use 7 should not lose to an aggressive limit of 2"
+    )
+    # Beyond the knee the curve is roughly flat.
+    assert abs(by_value[12] - by_value[7]) < 0.03

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Compare all register storage schemes across the benchmark suite.
+
+Reproduces the core comparison of the paper's Figure 11 at one cache
+size: LRU, non-bypass, and use-based register caches, the optimistic
+two-level register file, and monolithic register files at 1-3 cycles.
+
+Usage::
+
+    python examples/compare_schemes.py [cache_entries] [scale]
+"""
+
+import sys
+
+from repro import (
+    DEFAULT_SUITE,
+    lru_config,
+    mean_ipc,
+    monolithic_config,
+    non_bypass_config,
+    simulate_suite,
+    two_level_config,
+    use_based_config,
+)
+
+
+def main() -> None:
+    entries = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    machines = {
+        "use-based cache": use_based_config(cache_entries=entries),
+        "LRU cache (Yung & Wilhelm)": lru_config(cache_entries=entries),
+        "non-bypass cache (Cruz et al.)": non_bypass_config(
+            cache_entries=entries
+        ),
+        f"two-level RF (L1={entries + 32})": two_level_config(
+            cache_entries=entries
+        ),
+        "monolithic RF, 1 cycle": monolithic_config(1),
+        "monolithic RF, 2 cycles": monolithic_config(2),
+        "monolithic RF, 3 cycles": monolithic_config(3),
+    }
+
+    print(f"cache size {entries}, suite of {len(DEFAULT_SUITE)} "
+          f"benchmarks at scale {scale}")
+    print()
+    print(f"{'machine':32s} {'mean IPC':>9s} {'miss rate':>10s}")
+    print("-" * 54)
+    for label, config in machines.items():
+        results = simulate_suite(config, scale=scale)
+        ipc = mean_ipc(results)
+        first = next(iter(results.values()))
+        if first.cache is not None:
+            reads = sum(s.cache.reads for s in results.values())
+            misses = sum(s.cache.miss_count for s in results.values())
+            miss_text = f"{misses / reads:10.4f}"
+        else:
+            miss_text = f"{'-':>10s}"
+        print(f"{label:32s} {ipc:9.3f} {miss_text}")
+
+
+if __name__ == "__main__":
+    main()

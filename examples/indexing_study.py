@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Decoupled indexing study (the paper's Figure 7, §4).
+
+Sweeps the four set-assignment policies over associativities and plots
+conflict misses and IPC as ASCII charts. Also demonstrates the pipeline
+debug viewer on a short window to show where operands come from.
+
+Usage::
+
+    python examples/indexing_study.py [scale]
+"""
+
+import sys
+
+from repro import use_based_config
+from repro.analysis.charts import bar_chart, line_chart
+from repro.analysis.sweeps import load_traces, run_config
+from repro.core.debug import render_timeline
+from repro.core.pipeline import Pipeline
+from repro.core.simulator import mean_ipc
+from repro.workloads.suite import load_trace
+
+POLICIES = ("preg", "round_robin", "minimum", "filtered_rr")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    traces = load_traces(scale=scale)
+
+    print("indexing policies on the 64-entry cache "
+          "(conflict misses, lower is better):")
+    conflicts = {}
+    ipcs = {}
+    for policy in POLICIES:
+        results = run_config(
+            traces, use_based_config(indexing=policy, cache_assoc=2)
+        )
+        conflicts[policy] = float(sum(
+            stats.cache.misses["conflict"] for stats in results.values()
+        ))
+        ipcs[policy] = mean_ipc(results)
+    print()
+    print(bar_chart(conflicts, title="conflict misses (2-way)",
+                    fmt="{:.0f}"))
+    print()
+    print(bar_chart(ipcs, title="mean IPC (2-way)"))
+
+    # IPC vs associativity for standard vs filtered round-robin.
+    print()
+    series = {}
+    for policy in ("preg", "filtered_rr"):
+        points = []
+        for assoc in (1, 2, 4):
+            results = run_config(
+                traces,
+                use_based_config(indexing=policy, cache_assoc=assoc),
+            )
+            points.append((assoc, mean_ipc(results)))
+        series[policy] = points
+    print(line_chart(series, title="IPC vs associativity",
+                     y_label="mean IPC", height=12))
+
+    # Peek at the pipeline with the debug viewer.
+    print()
+    print("pipeline timeline for the first interp dispatches:")
+    trace = load_trace("interp", scale=0.15)
+    pipeline = Pipeline(trace, use_based_config(record_timing=True))
+    pipeline.run()
+    print(render_timeline(pipeline, first_seq=20, count=12))
+
+
+if __name__ == "__main__":
+    main()

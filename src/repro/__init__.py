@@ -1,0 +1,62 @@
+"""repro — reproduction of "Use-Based Register Caching with Decoupled
+Indexing" (Butts & Sohi, ISCA 2004).
+
+Public API quick tour::
+
+    from repro import MachineConfig, simulate_benchmark
+
+    stats = simulate_benchmark("compress", MachineConfig())
+    print(stats.ipc, stats.cache.miss_rate)
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+from repro.core import (
+    MachineConfig,
+    Pipeline,
+    SimStats,
+    lru_config,
+    mean_ipc,
+    monolithic_config,
+    non_bypass_config,
+    simulate,
+    simulate_benchmark,
+    simulate_suite,
+    two_level_config,
+    use_based_config,
+)
+from repro.errors import ReproError
+from repro.isa import Instruction, Opcode, Program, assemble
+from repro.vm import Machine, Trace, run_program
+from repro.workloads import DEFAULT_SUITE, SHORT_SUITE, load_suite, load_trace
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DEFAULT_SUITE",
+    "Instruction",
+    "Machine",
+    "MachineConfig",
+    "Opcode",
+    "Pipeline",
+    "Program",
+    "ReproError",
+    "SHORT_SUITE",
+    "SimStats",
+    "Trace",
+    "assemble",
+    "load_suite",
+    "load_trace",
+    "lru_config",
+    "mean_ipc",
+    "monolithic_config",
+    "non_bypass_config",
+    "run_program",
+    "simulate",
+    "simulate_benchmark",
+    "simulate_suite",
+    "two_level_config",
+    "use_based_config",
+    "__version__",
+]

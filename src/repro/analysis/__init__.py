@@ -1,0 +1,19 @@
+"""Experiment harness: metrics, sweeps, reports, and paper artifacts."""
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.metrics import CacheMetricsRow, aggregate_cache_metrics
+from repro.analysis.report import ExperimentResult, render, render_all
+from repro.analysis.sweeps import ipc_curve, load_traces, run_config, sweep
+
+__all__ = [
+    "CacheMetricsRow",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "aggregate_cache_metrics",
+    "ipc_curve",
+    "load_traces",
+    "render",
+    "render_all",
+    "run_config",
+    "sweep",
+]

@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro.analysis <experiment> ...``."""
+
+from repro.analysis.experiments import main
+
+raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""ASCII charts for experiment results.
+
+Matplotlib is deliberately not a dependency; the paper's figures are
+line and bar charts that render adequately as text for terminals, logs,
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII scatter chart.
+
+    Each series gets a distinct marker; points falling on the same cell
+    show the marker of the last series drawn.
+
+    Args:
+        series: label -> list of (x, y) points.
+        width/height: plot area size in characters.
+        title: optional heading.
+        y_label: optional y-axis annotation.
+
+    Returns:
+        The rendered chart text.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for (label, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(label_width)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(
+        " " * label_width + " +" + "-" * width
+    )
+    lines.append(
+        " " * label_width + f"  {x_min:<.4g}"
+        + " " * max(1, width - len(f"{x_min:<.4g}") - len(f"{x_max:.4g}"))
+        + f"{x_max:.4g}"
+    )
+    legend = "   ".join(
+        f"{marker}={label}"
+        for (label, _), marker in zip(series.items(), markers)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    if y_label:
+        lines.append(f"{' ' * label_width}  y: {y_label}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    Args:
+        values: label -> value (non-negative).
+        width: maximum bar length in characters.
+        title: optional heading.
+        fmt: value format string.
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    maximum = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, int(width * value / maximum))
+        lines.append(
+            f"{label.ljust(label_width)}  {fmt.format(value):>10s}  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,643 @@
+"""One entry point per table and figure of the paper.
+
+Each ``fig*``/``table*``/``tuning*`` function regenerates the data behind
+the corresponding artifact of Butts & Sohi (ISCA 2004) on the synthetic
+suite, returning an :class:`~repro.analysis.report.ExperimentResult`.
+
+Environment knobs (read once at call time, not import time):
+
+* ``REPRO_SCALE`` — workload scale factor (default 0.3). Larger values
+  lengthen every benchmark trace proportionally.
+* ``REPRO_SUITE`` — ``full`` (default) or ``short`` (four benchmarks,
+  for quick sweeps).
+
+Run from the command line::
+
+    python -m repro.analysis.experiments fig8 table2
+    python -m repro.analysis.experiments all
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections.abc import Iterable
+
+from repro.analysis.metrics import aggregate_cache_metrics
+from repro.analysis.report import ExperimentResult, render
+from repro.analysis.sweeps import load_traces, run_config, sweep
+from repro.core.config import (
+    MachineConfig,
+    lru_config,
+    monolithic_config,
+    non_bypass_config,
+    two_level_config,
+    use_based_config,
+)
+from repro.core.lifetimes import (
+    allocated_cdf,
+    concatenate_records,
+    live_cdf,
+    mean_phase_summary,
+    phase_summary,
+)
+from repro.core.simulator import mean_ipc
+from repro.workloads.suite import DEFAULT_SUITE, SHORT_SUITE
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.3"))
+
+
+def _names() -> tuple[str, ...]:
+    choice = os.environ.get("REPRO_SUITE", "full")
+    return SHORT_SUITE if choice == "short" else DEFAULT_SUITE
+
+
+def _traces(scale: float | None = None, names: Iterable[str] | None = None):
+    return load_traces(names or _names(), scale if scale is not None else _scale())
+
+
+#: The three caching schemes compared throughout §5.4-§5.5, with the
+#: indexing assignments the paper uses after Figure 8 (round-robin for
+#: the reference designs, filtered round-robin for use-based).
+def _scheme_configs(**common) -> dict[str, MachineConfig]:
+    return {
+        "lru": lru_config(**common),
+        "non_bypass": non_bypass_config(**common),
+        "use_based": use_based_config(**common),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 1 / Figure 2 — register lifetimes.
+
+
+def fig1_lifetimes(scale: float | None = None) -> ExperimentResult:
+    """Median empty/live/dead register lifetime phases (Figure 1)."""
+    traces = _traces(scale)
+    results = run_config(traces, use_based_config())
+    rows = []
+    summaries = []
+    for name, stats in results.items():
+        summary = phase_summary(stats.lifetimes)
+        summaries.append(summary)
+        rows.append([name, summary.empty, summary.live, summary.dead])
+    mean = mean_phase_summary(summaries)
+    rows.append(["MEAN", mean.empty, mean.live, mean.dead])
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Physical register lifetime phases (median cycles)",
+        headers=["benchmark", "empty", "live", "dead"],
+        rows=rows,
+        notes=(
+            "Paper reports means of per-benchmark medians of roughly "
+            "16 (empty), 11 (live), 36 (dead) cycles on SPECint 2000; "
+            "the shape to check is live << empty + dead."
+        ),
+    )
+
+
+def fig2_occupancy_cdf(scale: float | None = None) -> ExperimentResult:
+    """Allocated vs live register distributions (Figure 2)."""
+    traces = _traces(scale)
+    results = run_config(traces, use_based_config())
+    rows = []
+    for name, stats in results.items():
+        alloc = allocated_cdf(stats.lifetimes)
+        live = live_cdf(stats.lifetimes)
+        rows.append([
+            name, alloc.median, alloc.percentile(0.9),
+            live.median, live.percentile(0.9),
+        ])
+    pooled = concatenate_records([s.lifetimes for s in results.values()])
+    alloc = allocated_cdf(pooled)
+    live = live_cdf(pooled)
+    rows.append([
+        "ALL", alloc.median, alloc.percentile(0.9),
+        live.median, live.percentile(0.9),
+    ])
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Simultaneously allocated vs live registers (median / p90)",
+        headers=["benchmark", "alloc p50", "alloc p90", "live p50",
+                 "live p90"],
+        rows=rows,
+        notes=(
+            "Paper: median live values < 20% of allocated; 90th "
+            "percentile of live values is 56 with 512 physical "
+            "registers. Check live << allocated and p90(live) well "
+            "under the register count."
+        ),
+        meta={"live_p90": live.percentile(0.9),
+              "alloc_p50": alloc.median, "live_p50": live.median},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 / Figure 7 — organization and indexing tuning.
+
+
+def fig6_size_assoc(
+    scale: float | None = None,
+    sizes: tuple[int, ...] = (16, 32, 48, 64, 96, 128),
+    assocs: tuple[int, ...] = (1, 2, 4, 0),
+) -> ExperimentResult:
+    """IPC versus cache size and associativity (Figure 6).
+
+    Uses standard (preg) indexing as the paper's Figure 6 does; 0 in
+    *assocs* means fully associative.
+    """
+    traces = _traces(scale)
+    rows = []
+    for size in sizes:
+        row: list[object] = [size]
+        for assoc in assocs:
+            if assoc and size % assoc:
+                row.append("-")
+                continue
+            config = use_based_config(
+                cache_entries=size, cache_assoc=assoc, indexing="preg",
+            )
+            row.append(mean_ipc(run_config(traces, config)))
+        rows.append(row)
+    for latency in (1, 2, 3, 4):
+        results = run_config(traces, monolithic_config(latency))
+        rows.append([f"RF {latency}-cycle", "-", "-", "-",
+                     mean_ipc(results)])
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Register cache size and organization (mean IPC)",
+        headers=["entries", "direct", "2-way", "4-way", "full"],
+        rows=rows,
+        notes=(
+            "Paper: associativity dominates; direct-mapped caches fail "
+            "to beat the 3-cycle register file; the fully-associative "
+            "curve flattens near the 90th-percentile live-value count; "
+            "64-entry 2-way is the chosen design point."
+        ),
+    )
+
+
+def fig7_indexing(
+    scale: float | None = None,
+    assocs: tuple[int, ...] = (1, 2, 4),
+) -> ExperimentResult:
+    """Decoupled indexing policies vs standard indexing (Figure 7)."""
+    traces = _traces(scale)
+    policies = ("preg", "round_robin", "minimum", "filtered_rr")
+    rows = []
+    for policy in policies:
+        row: list[object] = [policy]
+        for assoc in assocs:
+            config = use_based_config(indexing=policy, cache_assoc=assoc)
+            results = run_config(traces, config)
+            conflicts = sum(
+                s.cache.misses["conflict"] for s in results.values()
+            )
+            row.append(mean_ipc(results))
+            row.append(conflicts)
+        rows.append(row)
+    headers = ["policy"]
+    for assoc in assocs:
+        headers += [f"ipc {assoc}w", f"conf {assoc}w"]
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Decoupled indexing algorithms (64-entry cache)",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: use-based assignment (filtered round-robin, minimum) "
+            "performs best; filtered round-robin gains 1.9% on 2-way; "
+            "advantages are larger at lower associativity. Check that "
+            "decoupled policies cut conflict misses versus preg."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8-10 and Table 2 — characterization at the design point.
+
+
+def fig8_miss_breakdown(scale: float | None = None) -> ExperimentResult:
+    """Miss-rate taxonomy under standard vs decoupled indexing (Fig 8)."""
+    traces = _traces(scale)
+    rows = []
+    for scheme, base in (
+        ("lru", lru_config), ("non_bypass", non_bypass_config),
+        ("use_based", use_based_config),
+    ):
+        for indexing, label in (
+            ("preg", "standard"),
+            ("filtered_rr" if scheme == "use_based" else "round_robin",
+             "decoupled"),
+        ):
+            results = run_config(traces, base(indexing=indexing))
+            metrics = aggregate_cache_metrics(scheme, results)
+            rows.append([
+                scheme, label, metrics.miss_filtered,
+                metrics.miss_capacity, metrics.miss_conflict,
+                metrics.miss_rate,
+            ])
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Register cache misses per operand, 64-entry 2-way",
+        headers=["scheme", "indexing", "filtered", "capacity", "conflict",
+                 "total"],
+        rows=rows,
+        notes=(
+            "Paper: write filtering trades filtered-value misses for "
+            "capacity/conflict misses; non-bypass's filtered misses push "
+            "its total above LRU at this size while use-based filtering "
+            "does not; decoupled indexing removes 30-40% of conflict "
+            "misses for every scheme."
+        ),
+    )
+
+
+def fig9_bandwidth(scale: float | None = None) -> ExperimentResult:
+    """Cache / register file access bandwidth (Figure 9)."""
+    traces = _traces(scale)
+    rows = []
+    for scheme, results in sweep(traces, _scheme_configs()).items():
+        metrics = aggregate_cache_metrics(scheme, results)
+        rows.append([
+            scheme, metrics.cache_read_bw, metrics.cache_write_bw,
+            metrics.rf_read_bw, metrics.rf_write_bw,
+        ])
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Average access bandwidth (per cycle), 64-entry 2-way",
+        headers=["scheme", "cache rd", "cache wr", "RF rd", "RF wr"],
+        rows=rows,
+        notes=(
+            "Paper: write filtering lowers cache write bandwidth for "
+            "non-bypass/use-based; RF read bandwidth tracks the miss "
+            "rate (fills); RF write bandwidth sees every result."
+        ),
+    )
+
+
+def fig10_filtering(scale: float | None = None) -> ExperimentResult:
+    """Write-filtering effects (Figure 10)."""
+    traces = _traces(scale)
+    rows = []
+    for scheme, results in sweep(traces, _scheme_configs()).items():
+        metrics = aggregate_cache_metrics(scheme, results)
+        rows.append([
+            scheme, metrics.never_read_fraction,
+            metrics.filtered_write_fraction, metrics.never_cached_fraction,
+        ])
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Filtering effects (fractions)",
+        headers=["scheme", "cached never read", "writes filtered",
+                 "never cached"],
+        rows=rows,
+        notes=(
+            "Paper: use-based shows the lowest cached-never-read "
+            "fraction, filters the most initial writes, and leaves the "
+            "largest fraction of values never cached."
+        ),
+    )
+
+
+def table2_metrics(scale: float | None = None) -> ExperimentResult:
+    """Register cache metric comparison (Table 2)."""
+    traces = _traces(scale)
+    rows = []
+    for scheme, results in sweep(traces, _scheme_configs()).items():
+        metrics = aggregate_cache_metrics(scheme, results)
+        rows.append([
+            scheme, metrics.reads_per_cached_value, metrics.cache_count,
+            metrics.occupancy, metrics.entry_lifetime,
+        ])
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Register cache metrics, 64-entry 2-way",
+        headers=["scheme", "reads/cached value", "cache count",
+                 "occupancy", "entry lifetime"],
+        rows=rows,
+        notes=(
+            "Paper (LRU / non-bypass / use-based): reads per cached "
+            "value 0.67 / 1.18 / 1.67; cache count 1.09 / 0.61 / 0.44; "
+            "occupancy 36.7 / 28.8 / 26.6; lifetime 25.2 / 36.3 / 43.6. "
+            "Check the orderings: use-based highest reads/value and "
+            "lifetime, lowest cache count and occupancy."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 / Figure 12 — performance comparisons.
+
+
+def fig11_perf_vs_size(
+    scale: float | None = None,
+    sizes: tuple[int, ...] = (16, 32, 48, 64, 96),
+) -> ExperimentResult:
+    """IPC versus cache/L1 size for all schemes (Figure 11)."""
+    traces = _traces(scale)
+    rows = []
+    for size in sizes:
+        row: list[object] = [size]
+        row.append(mean_ipc(run_config(
+            traces, lru_config(cache_entries=size))))
+        row.append(mean_ipc(run_config(
+            traces, non_bypass_config(cache_entries=size))))
+        row.append(mean_ipc(run_config(
+            traces, use_based_config(cache_entries=size))))
+        row.append(mean_ipc(run_config(
+            traces, use_based_config(cache_entries=size, cache_assoc=4))))
+        row.append(mean_ipc(run_config(
+            traces, two_level_config(cache_entries=size))))
+        rows.append(row)
+    for latency in (1, 3):
+        results = run_config(traces, monolithic_config(latency))
+        rows.append([f"RF {latency}-cyc", "-", "-", "-", "-",
+                     mean_ipc(results)])
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Performance vs cache/L1 size (mean IPC)",
+        headers=["entries", "lru", "non_bypass", "use_based",
+                 "use_based 4w", "two_level(+32)"],
+        rows=rows,
+        notes=(
+            "Paper: use-based outperforms the other caches across "
+            "capacities, with the advantage growing as caches shrink; "
+            "the 4-way use-based cache matches the 64-entry 2-way with "
+            "~48 entries; the two-level file trails due to rename "
+            "stalls and falls off rapidly at small L1 sizes."
+        ),
+    )
+
+
+def fig12_backing_latency(
+    scale: float | None = None,
+    latencies: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+) -> ExperimentResult:
+    """IPC versus backing file / L2 latency (Figure 12)."""
+    traces = _traces(scale)
+    rows = []
+    for latency in latencies:
+        row: list[object] = [latency]
+        row.append(mean_ipc(run_config(
+            traces, lru_config(backing_read_latency=latency))))
+        row.append(mean_ipc(run_config(
+            traces, non_bypass_config(backing_read_latency=latency))))
+        row.append(mean_ipc(run_config(
+            traces, use_based_config(backing_read_latency=latency))))
+        row.append(mean_ipc(run_config(
+            traces, two_level_config(two_level_l2_latency=latency))))
+        rows.append(row)
+    for latency in (1, 3):
+        results = run_config(traces, monolithic_config(latency))
+        rows.append([f"RF {latency}-cyc", "-", "-",
+                     mean_ipc(results), "-"])
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Performance vs backing file / L2 latency (mean IPC)",
+        headers=["latency", "lru", "non_bypass", "use_based",
+                 "two_level"],
+        rows=rows,
+        notes=(
+            "Paper: use-based degrades most slowly with backing "
+            "latency among the caches; the two-level file is least "
+            "sensitive (L2 latency seen only on recovery) but stays "
+            "below use-based through latency ~4-5; use-based still "
+            "beats a 3-cycle monolithic file at backing latencies up "
+            "to ~5."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# §5.3 tuning studies and §3.3 predictor accuracy.
+
+
+def tuning_max_use(
+    scale: float | None = None,
+    values: tuple[int, ...] = (2, 3, 5, 7, 9, 12, 15),
+) -> ExperimentResult:
+    """IPC versus the maximum representable use count (§5.3)."""
+    traces = _traces(scale)
+    rows = []
+    for max_use in values:
+        results = run_config(traces, use_based_config(max_use=max_use))
+        metrics = aggregate_cache_metrics("use_based", results)
+        rows.append([max_use, mean_ipc(results), metrics.miss_rate])
+    return ExperimentResult(
+        experiment_id="tuning_max_use",
+        title="Maximum representable use count",
+        headers=["max_use", "mean ipc", "miss rate"],
+        rows=rows,
+        notes=(
+            "Paper: performance falls off rapidly below ~6 (too many "
+            "values pinned), improves to ~12, with the knee around 7 "
+            "(three bits)."
+        ),
+    )
+
+
+def tuning_defaults(
+    scale: float | None = None,
+    unknown_values: tuple[int, ...] = (0, 1, 2, 3),
+    fill_values: tuple[int, ...] = (0, 1, 2),
+) -> ExperimentResult:
+    """IPC versus the unknown and fill defaults (§5.3)."""
+    traces = _traces(scale)
+    rows = []
+    for unknown in unknown_values:
+        results = run_config(
+            traces, use_based_config(unknown_default=unknown)
+        )
+        rows.append(["unknown", unknown, mean_ipc(results)])
+    for fill in fill_values:
+        results = run_config(traces, use_based_config(fill_default=fill))
+        rows.append(["fill", fill, mean_ipc(results)])
+    return ExperimentResult(
+        experiment_id="tuning_defaults",
+        title="Unknown and fill default use counts",
+        headers=["default", "value", "mean ipc"],
+        rows=rows,
+        notes=(
+            "Paper: unknown default of 1 (most values are used once) "
+            "and fill default of 0 (a filled value's triggering use is "
+            "likely its last) maximize performance."
+        ),
+    )
+
+
+def predictor_accuracy(scale: float | None = None) -> ExperimentResult:
+    """Degree-of-use predictor accuracy and coverage (§3.3)."""
+    traces = _traces(scale)
+    results = run_config(traces, use_based_config())
+    rows = []
+    total_supplied = total_correct = total_queries = 0
+    for name, stats in results.items():
+        coverage = (
+            stats.predictor_supplied / stats.predictor_queries
+            if stats.predictor_queries else 0.0
+        )
+        rows.append([name, stats.predictor_accuracy, coverage])
+        total_supplied += stats.predictor_supplied
+        total_correct += stats.predictor_correct
+        total_queries += stats.predictor_queries
+    rows.append([
+        "ALL",
+        total_correct / total_supplied if total_supplied else 0.0,
+        total_supplied / total_queries if total_queries else 0.0,
+    ])
+    return ExperimentResult(
+        experiment_id="predictor",
+        title="Degree-of-use predictor accuracy / coverage",
+        headers=["benchmark", "accuracy", "coverage"],
+        rows=rows,
+        notes="Paper reports 97% average accuracy (§3.3).",
+    )
+
+
+def incorrect_use_info(
+    scale: float | None = None,
+    noise_levels: tuple[float, ...] = (0.0, 0.05, 0.15, 0.3, 0.6),
+) -> ExperimentResult:
+    """Sensitivity to incorrect use information (paper §3.4).
+
+    Injects training noise into the degree-of-use predictor to model
+    wrong-path use counting and mispredictions, measuring how stale and
+    falsely-dead values affect the miss rate and performance. The paper
+    argues both effects are naturally bounded (invalidation-at-free
+    limits stale values; lazy eviction and bypassing mask falsely-dead
+    values), so degradation should be gradual.
+    """
+    traces = _traces(scale)
+    rows = []
+    for noise in noise_levels:
+        results = run_config(
+            traces, use_based_config(wrongpath_use_noise=noise)
+        )
+        metrics = aggregate_cache_metrics("use_based", results)
+        accuracy_num = sum(
+            s.predictor_correct for s in results.values()
+        )
+        accuracy_den = max(
+            1, sum(s.predictor_supplied for s in results.values())
+        )
+        rows.append([
+            noise, mean_ipc(results), metrics.miss_rate,
+            accuracy_num / accuracy_den,
+        ])
+    return ExperimentResult(
+        experiment_id="s34_noise",
+        title="Incorrect use information (training noise sweep)",
+        headers=["noise", "mean ipc", "miss rate", "pred accuracy"],
+        rows=rows,
+        notes=(
+            "Paper §3.4: stale values are bounded by invalidation at "
+            "register free; falsely-dead values are masked by lazy "
+            "eviction and the bypass network. Performance should "
+            "degrade gracefully, not collapse, as use information "
+            "degrades."
+        ),
+    )
+
+
+def table1_config() -> ExperimentResult:
+    """Machine configuration versus Table 1 of the paper."""
+    config = MachineConfig()
+    rows = [
+        ["issue width", config.issue_width, 8],
+        ["window", config.window_size, 128],
+        ["ROB", config.rob_size, 512],
+        ["physical registers", config.num_pregs, 512],
+        ["bypass stages", config.bypass_stages, 2],
+        ["RF latency (baseline)", config.rf_read_latency, 3],
+        ["backing latency", config.backing_read_latency, 2],
+        ["cache entries", config.cache_entries, 64],
+        ["cache assoc", config.cache_assoc, 2],
+        ["max use", config.max_use, 7],
+        ["unknown default", config.unknown_default, 1],
+        ["fill default", config.fill_default, 0],
+        ["predictor entries", config.predictor_entries, 4096],
+        ["predictor assoc", config.predictor_assoc, 4],
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Simulator configuration vs paper Table 1",
+        headers=["parameter", "ours", "paper"],
+        rows=rows,
+        notes="All structural parameters match the paper's Table 1.",
+    )
+
+
+def ablations(scale: float | None = None) -> ExperimentResult:
+    """Design-choice ablations beyond the paper's explicit studies."""
+    traces = _traces(scale)
+    variants = {
+        "full use-based": use_based_config(),
+        "no pinning": use_based_config(pin_at_max=False),
+        "lru replacement": use_based_config(replacement="lru"),
+        "always insert": use_based_config(insertion="always"),
+        "no predictor (defaults only)": use_based_config(
+            predictor_enabled=False
+        ),
+        "standard indexing": use_based_config(indexing="preg"),
+    }
+    rows = []
+    for label, config in variants.items():
+        results = run_config(traces, config)
+        metrics = aggregate_cache_metrics(label, results)
+        rows.append([label, mean_ipc(results), metrics.miss_rate])
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="Use-based design ablations (64-entry 2-way)",
+        headers=["variant", "mean ipc", "miss rate"],
+        rows=rows,
+        notes=(
+            "Each row disables one ingredient of the proposal; the full "
+            "configuration should be at or near the top."
+        ),
+    )
+
+
+#: Registry used by the CLI and the benchmark harness.
+EXPERIMENTS = {
+    "table1": table1_config,
+    "fig1": fig1_lifetimes,
+    "fig2": fig2_occupancy_cdf,
+    "fig6": fig6_size_assoc,
+    "fig7": fig7_indexing,
+    "fig8": fig8_miss_breakdown,
+    "fig9": fig9_bandwidth,
+    "fig10": fig10_filtering,
+    "table2": table2_metrics,
+    "fig11": fig11_perf_vs_size,
+    "fig12": fig12_backing_latency,
+    "tuning_max_use": tuning_max_use,
+    "tuning_defaults": tuning_defaults,
+    "predictor": predictor_accuracy,
+    "s34_noise": incorrect_use_info,
+    "ablations": ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: print the requested experiments (or ``all``)."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print(__doc__)
+        print("available:", ", ".join(EXPERIMENTS))
+        return 1
+    requested = list(EXPERIMENTS) if "all" in args else args
+    for name in requested:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        print(render(runner()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Aggregate metric computation across benchmark runs (Table 2 et al.)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import SimStats
+
+
+@dataclass(frozen=True)
+class CacheMetricsRow:
+    """One scheme's row of Table 2 plus the Figure 8-10 aggregates."""
+
+    scheme: str
+    miss_rate: float
+    miss_filtered: float
+    miss_conflict: float
+    miss_capacity: float
+    reads_per_cached_value: float
+    cache_count: float
+    occupancy: float
+    entry_lifetime: float
+    never_read_fraction: float
+    filtered_write_fraction: float
+    never_cached_fraction: float
+    cache_read_bw: float
+    cache_write_bw: float
+    rf_read_bw: float
+    rf_write_bw: float
+
+
+def aggregate_cache_metrics(
+    scheme: str, results: dict[str, SimStats]
+) -> CacheMetricsRow:
+    """Combine per-benchmark cache statistics into one summary row.
+
+    Count-based metrics are summed across benchmarks before forming
+    ratios (i.e. weighted by activity, as the paper's aggregate figures
+    are); bandwidths are averaged over total cycles.
+
+    Raises:
+        ValueError: if any result has no register cache.
+    """
+    if not results:
+        raise ValueError("no results to aggregate")
+    totals = {
+        "reads": 0, "hits": 0, "filtered": 0, "conflict": 0, "capacity": 0,
+        "cold": 0, "instances": 0, "never_read": 0, "values_freed": 0,
+        "never_cached": 0, "writes_initial": 0, "writes_fill": 0,
+        "writes_filtered": 0, "lifetime_sum": 0, "lifetime_count": 0,
+        "occupancy_integral": 0, "cycles": 0, "rf_reads": 0, "rf_writes": 0,
+    }
+    for stats in results.values():
+        cache = stats.cache
+        if cache is None:
+            raise ValueError(f"{stats.benchmark}: no register cache")
+        totals["reads"] += cache.reads
+        totals["hits"] += cache.hits
+        for key in ("filtered", "conflict", "capacity", "cold"):
+            totals[key] += cache.misses[key]
+        totals["instances"] += cache.instances_cached
+        totals["never_read"] += cache.instances_never_read
+        totals["values_freed"] += cache.values_freed
+        totals["never_cached"] += cache.values_never_cached
+        totals["writes_initial"] += cache.writes_initial
+        totals["writes_fill"] += cache.writes_fill
+        totals["writes_filtered"] += cache.writes_filtered
+        totals["lifetime_sum"] += cache.lifetime_sum
+        totals["lifetime_count"] += cache.lifetime_count
+        totals["occupancy_integral"] += cache.occupancy_integral
+        totals["cycles"] += stats.cycles
+        totals["rf_reads"] += stats.rf_reads
+        totals["rf_writes"] += stats.rf_writes
+
+    reads = max(1, totals["reads"])
+    misses = (
+        totals["filtered"] + totals["conflict"] + totals["capacity"]
+        + totals["cold"]
+    )
+    initial_attempts = max(
+        1, totals["writes_initial"] + totals["writes_filtered"]
+    )
+    cycles = max(1, totals["cycles"])
+    return CacheMetricsRow(
+        scheme=scheme,
+        miss_rate=misses / reads,
+        miss_filtered=totals["filtered"] / reads,
+        miss_conflict=totals["conflict"] / reads,
+        miss_capacity=totals["capacity"] / reads,
+        reads_per_cached_value=totals["hits"] / max(1, totals["instances"]),
+        cache_count=totals["instances"] / max(1, totals["values_freed"]),
+        occupancy=totals["occupancy_integral"] / cycles,
+        entry_lifetime=(
+            totals["lifetime_sum"] / max(1, totals["lifetime_count"])
+        ),
+        never_read_fraction=(
+            totals["never_read"] / max(1, totals["instances"])
+        ),
+        filtered_write_fraction=totals["writes_filtered"] / initial_attempts,
+        never_cached_fraction=(
+            totals["never_cached"] / max(1, totals["values_freed"])
+        ),
+        cache_read_bw=totals["reads"] / cycles,
+        cache_write_bw=(
+            (totals["writes_initial"] + totals["writes_fill"]) / cycles
+        ),
+        rf_read_bw=totals["rf_reads"] / cycles,
+        rf_write_bw=totals["rf_writes"] / cycles,
+    )

@@ -1,0 +1,109 @@
+"""ASCII rendering of experiment results.
+
+Every experiment in :mod:`repro.analysis.experiments` returns an
+:class:`ExperimentResult`; :func:`render` turns one into the aligned
+text table recorded in EXPERIMENTS.md and printed by the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one paper experiment.
+
+    Attributes:
+        experiment_id: paper artifact id (e.g. "fig11", "table2").
+        title: human-readable experiment title.
+        headers: column names.
+        rows: row cells; numbers are formatted by :func:`render`.
+        notes: free-form commentary (paper-vs-measured remarks).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: str = ""
+    meta: dict[str, object] = field(default_factory=dict)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render an experiment result as an aligned ASCII table."""
+    table = [result.headers] + [
+        [_format_cell(cell) for cell in row] for row in result.rows
+    ]
+    widths = [
+        max(len(row[col]) for row in table)
+        for col in range(len(result.headers))
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    header = "  ".join(
+        cell.ljust(width) for cell, width in zip(table[0], widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table[1:]:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    if result.notes:
+        lines.append("")
+        for note_line in result.notes.strip().splitlines():
+            lines.append(f"  note: {note_line.strip()}")
+    return "\n".join(lines)
+
+
+def render_all(results: list[ExperimentResult]) -> str:
+    """Render several experiments separated by blank lines."""
+    return "\n\n".join(render(result) for result in results)
+
+
+def to_json(result: ExperimentResult) -> str:
+    """Serialize an experiment result as JSON.
+
+    The output is machine-readable for downstream tooling (plotting,
+    regression tracking); :func:`from_json` round-trips it.
+    """
+    import json
+
+    return json.dumps({
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "notes": result.notes,
+        "meta": result.meta,
+    }, indent=2)
+
+
+def from_json(text: str) -> ExperimentResult:
+    """Reconstruct an :class:`ExperimentResult` from :func:`to_json`."""
+    import json
+
+    data = json.loads(text)
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        headers=list(data["headers"]),
+        rows=[list(row) for row in data["rows"]],
+        notes=data.get("notes", ""),
+        meta=dict(data.get("meta", {})),
+    )

@@ -1,0 +1,66 @@
+"""Parameter-sweep helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import Pipeline
+from repro.core.simulator import mean_ipc
+from repro.core.stats import SimStats
+from repro.vm.trace import Trace
+from repro.workloads.suite import DEFAULT_SUITE, load_trace
+
+
+def load_traces(
+    names: Iterable[str] = DEFAULT_SUITE, scale: float = 0.3
+) -> dict[str, Trace]:
+    """Load the benchmark traces used by an experiment."""
+    return {name: load_trace(name, scale=scale) for name in names}
+
+
+def run_config(
+    traces: dict[str, Trace], config: MachineConfig
+) -> dict[str, SimStats]:
+    """Simulate every trace under *config*."""
+    return {
+        name: Pipeline(trace, config).run()
+        for name, trace in traces.items()
+    }
+
+
+def sweep(
+    traces: dict[str, Trace],
+    configs: dict[str, MachineConfig],
+) -> dict[str, dict[str, SimStats]]:
+    """Simulate every trace under every named configuration.
+
+    Returns:
+        Mapping of configuration label to per-benchmark statistics.
+    """
+    return {
+        label: run_config(traces, config)
+        for label, config in configs.items()
+    }
+
+
+def ipc_curve(
+    traces: dict[str, Trace],
+    config_for: Callable[[int], MachineConfig],
+    points: Iterable[int],
+) -> list[tuple[int, float]]:
+    """Geometric-mean IPC at each sweep point.
+
+    Args:
+        traces: benchmark traces.
+        config_for: maps a sweep value (e.g. cache size) to a config.
+        points: sweep values.
+
+    Returns:
+        List of ``(point, mean_ipc)`` pairs in input order.
+    """
+    curve = []
+    for point in points:
+        results = run_config(traces, config_for(point))
+        curve.append((point, mean_ipc(results)))
+    return curve

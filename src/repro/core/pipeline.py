@@ -1,0 +1,716 @@
+"""Cycle-level out-of-order timing model.
+
+This is the machine of Table 1: trace-driven, 8-wide, deeply pipelined,
+with a 128-entry issue window, 512-entry ROB, and one of three register
+storage schemes:
+
+* ``register_cache`` — single-cycle register cache over a multi-cycle
+  backing file, with pluggable insertion/replacement/indexing policies
+  (the paper's proposal and both caching reference designs),
+* ``monolithic`` — multi-cycle monolithic register file with a limited
+  two-stage bypass network (the no-cache baselines),
+* ``two_level`` — the optimistic two-level register file of §5.5.
+
+Timing rules (derivations in DESIGN.md §4):
+
+* An instruction issued at cycle ``t`` starts executing at
+  ``t + 1 + read_latency`` (1 for cache/two-level, R for monolithic).
+* A consumer of producer ``p`` may issue from ``p.exec_end - read_latency``
+  (bypass stage 1); the bypass network covers ``bypass_stages`` cycles;
+  afterwards the operand must come from storage, available from
+  ``p.exec_end + 1`` (cache write / L1) or ``p.exec_end + W - R``
+  (monolithic file with read-during-write forwarding).
+* A register-cache miss blocks the issue stage for the detection cycle
+  (replaying the squashed issue group, as on the Alpha 21264) and sends
+  the instruction to the backing file through a single arbitrated read
+  port, waiting for the producer's backing write if necessary.
+* Loads probe the data cache when their address is ready; an L1 miss
+  blocks issue for ``read_latency`` cycles, modelling the load-hit
+  speculation replay loop whose length grows with the register read
+  latency (paper §1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import MachineConfig
+from repro.core.stats import LifetimeRecord, SimStats
+from repro.errors import SimulationError
+from repro.frontend.fetch import FrontEnd
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.predict.degree_of_use import DegreeOfUsePredictor, compute_fcf
+from repro.regfile.backing import BackingFile
+from repro.regfile.indexing import make_index_policy
+from repro.regfile.insertion import WriteContext, make_insertion_policy
+from repro.regfile.physical import PhysicalRegisterFile
+from repro.regfile.register_cache import RegisterCache
+from repro.regfile.replacement import make_replacement_policy
+from repro.regfile.two_level import TwoLevelRegisterFile
+from repro.rename.freelist import FreeList
+from repro.rename.map_table import MapTable
+from repro.rename.renamer import Renamer
+from repro.vm.trace import Trace
+
+_WAITING = 0
+_ISSUED = 1
+
+
+class _Op:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "seq", "dyn", "sources", "dest_preg", "dest_set", "prev_preg",
+        "pred_eff", "pinned", "predicted", "mispredicted",
+        "status", "issue_time", "exec_start", "exec_end", "unready",
+        "src_producer_seqs",
+    )
+
+    def __init__(self, seq, dyn):
+        self.seq = seq
+        self.dyn = dyn
+        self.sources = ()
+        self.dest_preg = -1
+        self.dest_set = -1
+        self.prev_preg = -1
+        self.pred_eff = 0
+        self.pinned = False
+        self.predicted = None
+        self.mispredicted = False
+        self.status = _WAITING
+        self.issue_time = -1
+        self.exec_start = -1
+        self.exec_end = -1
+        self.unready = 0
+        self.src_producer_seqs: tuple[int, ...] = ()
+
+
+class _PregInfo:
+    """Producer-side state of one physical-register allocation."""
+
+    __slots__ = (
+        "issued", "exec_end", "pc", "fcf", "pred_eff", "pinned",
+        "predicted", "assigned_set", "bypass_first", "bypass_total",
+        "uses_renamed", "alloc_time", "last_read", "waiters",
+        "producer_seq",
+    )
+
+    def __init__(self, pc: int, fcf: int, alloc_time: int) -> None:
+        self.issued = False
+        self.exec_end = -1
+        self.pc = pc
+        self.fcf = fcf
+        self.producer_seq = -1
+        self.pred_eff = 0
+        self.pinned = False
+        self.predicted = None
+        self.assigned_set = -1
+        self.bypass_first = 0
+        self.bypass_total = 0
+        self.uses_renamed = 0
+        self.alloc_time = alloc_time
+        self.last_read = -1
+        self.waiters: list[_Op] = []
+
+
+class Pipeline:
+    """Executes one trace under one machine configuration.
+
+    Use :func:`repro.core.simulator.simulate` for the friendly entry
+    point; this class exposes the machinery for tests and extensions.
+    """
+
+    def __init__(self, trace: Trace, config: MachineConfig) -> None:
+        config.validate()
+        self.trace = trace
+        self.config = config
+        self.stats = SimStats(benchmark=trace.name, scheme=config.storage)
+
+        num_pregs = config.num_pregs
+        if config.storage == "two_level":
+            # Preg ids are logical value ids for this scheme; the real
+            # constraint is L1 slots, tracked by the two-level model.
+            num_pregs = max(num_pregs, 1024)
+        self.freelist = FreeList(num_pregs)
+        self.map_table = MapTable()
+        self.pinfo: list[_PregInfo | None] = [None] * num_pregs
+
+        self.read_latency = config.read_latency
+        self.bypass_stages = config.bypass_stages
+
+        # Storage scheme construction.
+        self.cache: RegisterCache | None = None
+        self.backing: BackingFile | None = None
+        self.rf: PhysicalRegisterFile | None = None
+        self.two_level: TwoLevelRegisterFile | None = None
+        self.insertion = None
+        self.index_policy = None
+        assign_set = None
+        if config.storage == "register_cache":
+            assoc = config.cache_assoc or config.cache_entries
+            num_sets = config.cache_entries // assoc
+            self.index_policy = make_index_policy(
+                config.indexing, num_sets, assoc
+            )
+            self.cache = RegisterCache(
+                config.cache_entries, config.cache_assoc,
+                make_replacement_policy(config.replacement),
+                self.index_policy,
+            )
+            self.insertion = make_insertion_policy(config.insertion)
+            self.backing = BackingFile(
+                num_pregs,
+                config.backing_read_latency,
+                config.effective_backing_write_latency,
+                config.backing_read_ports,
+            )
+            if self.index_policy.decoupled:
+                assign_set = self.index_policy.assign
+        elif config.storage == "monolithic":
+            self.rf = PhysicalRegisterFile(
+                num_pregs, config.rf_read_latency,
+                config.effective_rf_write_latency, config.bypass_stages,
+            )
+        else:
+            self.two_level = TwoLevelRegisterFile(
+                config.two_level_l1_size,
+                l2_latency=config.two_level_l2_latency,
+                move_bandwidth=config.two_level_bandwidth,
+                free_threshold=config.two_level_free_threshold,
+            )
+
+        self.renamer = Renamer(self.freelist, self.map_table, assign_set)
+
+        self.predictor: DegreeOfUsePredictor | None = None
+        if config.predictor_enabled and config.storage == "register_cache":
+            self.predictor = DegreeOfUsePredictor(
+                entries=config.predictor_entries,
+                assoc=config.predictor_assoc,
+                wrongpath_noise=config.wrongpath_use_noise,
+            )
+        self.fcf = compute_fcf(trace)
+
+        self.memory = MemoryHierarchy() if config.model_memory else None
+        icache = self.memory if (self.memory and config.model_icache) else None
+        self.frontend = FrontEnd(
+            trace,
+            fetch_width=config.fetch_width,
+            front_depth=config.front_depth,
+            icache=_ICacheAdapter(icache) if icache else None,
+        )
+
+        # Event queues: cycle -> payload list.
+        self._lookups: dict[int, list[tuple[_Op, int, int]]] = {}
+        self._dcache_events: dict[int, list[_Op]] = {}
+        self._writebacks: dict[int, list[_Op]] = {}
+        self._resolves: dict[int, list[_Op]] = {}
+        self._fills: dict[int, list[tuple[int, int]]] = {}
+        self._ready: dict[int, list[_Op]] = {}
+        self._blocked: set[int] = set()
+
+        self.rob: deque[_Op] = deque()
+        self.window_count = 0
+        self.retired = 0
+        self._dispatch_blocked_until = 0
+        self._wrongpath_reserved = 0
+        self.cycle = 0
+        #: seq -> issued _Op, populated when config.record_timing is set.
+        self.issue_log: dict[int, _Op] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Simulate to completion and return the statistics."""
+        total = len(self.trace.records)
+        config = self.config
+        cycle = 0
+        while self.retired < total:
+            if cycle >= config.max_cycles:
+                raise SimulationError(
+                    f"{self.trace.name}: exceeded {config.max_cycles} cycles "
+                    f"({self.retired}/{total} retired)"
+                )
+            self.cycle = cycle
+            if cycle in self._fills:
+                self._process_fills(cycle)
+            if cycle in self._lookups:
+                self._process_lookups(cycle)
+            if cycle in self._dcache_events:
+                self._process_dcache(cycle)
+            if cycle in self._writebacks:
+                self._process_writebacks(cycle)
+            if cycle in self._resolves:
+                self._process_resolves(cycle)
+            self._retire(cycle)
+            if cycle in self._blocked:
+                self._blocked.discard(cycle)
+                self.stats.issue_blocked_cycles += 1
+                for op in self._ready.pop(cycle, ()):  # defer the group
+                    self._bucket(op, cycle + 1)
+            else:
+                self._issue(cycle)
+            self._dispatch(cycle)
+            if self.two_level is not None:
+                self.two_level.tick(cycle)
+            cycle += 1
+
+        self._finalize(cycle)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Event processing.
+
+    def _process_fills(self, now: int) -> None:
+        for preg, assigned_set in self._fills.pop(now):
+            if self.pinfo[preg] is not None and self.cache is not None:
+                self.cache.write(
+                    preg, assigned_set, self.config.fill_default,
+                    pinned=False, now=now, is_fill=True,
+                )
+
+    def _process_lookups(self, now: int) -> None:
+        assert self.cache is not None and self.backing is not None
+        config = self.config
+        for op, preg, assigned_set in self._lookups.pop(now):
+            if self.cache.lookup(preg, assigned_set, now):
+                continue
+            # Miss: squash this cycle's issue group and fetch the value
+            # from the backing file (paper §5.2 replay model).
+            self.stats.rc_miss_events += 1
+            self._blocked.add(now)
+            producer = self.pinfo[preg]
+            written_at = (
+                producer.exec_end + 1 + self.backing.write_latency
+                if producer is not None and producer.issued else now
+            )
+            available = self.backing.schedule_read(now + 1, written_at)
+            new_start = max(op.exec_start, available)
+            if new_start != op.exec_start:
+                latency = op.exec_end - op.exec_start
+                op.exec_start = new_start
+                op.exec_end = new_start + latency
+                if op.dest_preg >= 0:
+                    dest_info = self.pinfo[op.dest_preg]
+                    if dest_info is not None:
+                        dest_info.exec_end = op.exec_end
+            self._fills.setdefault(available, []).append((preg, assigned_set))
+
+    def _process_dcache(self, now: int) -> None:
+        # Probed the cycle after issue: strictly before the earliest
+        # dependent can issue (issue + load latency), so dependents never
+        # schedule against a stale hit-assumed latency.
+        assert self.memory is not None
+        for op in self._dcache_events.pop(now):
+            extra = self.memory.load(op.dyn.mem_addr, op.dyn.pc, now)
+            if extra:
+                op.exec_end += extra
+                if op.dest_preg >= 0:
+                    dest_info = self.pinfo[op.dest_preg]
+                    if dest_info is not None:
+                        dest_info.exec_end = op.exec_end
+                # Load-hit speculation replay: the squash loop contains
+                # the register read, so its cost scales with read latency.
+                self.stats.load_miss_replays += 1
+                detection = now + 3  # tag check, just before would-be data
+                for offset in range(self.read_latency):
+                    self._blocked.add(detection + offset)
+
+    def _process_writebacks(self, now: int) -> None:
+        for op in self._writebacks.pop(now):
+            if op.exec_end + 1 != now:
+                self._writebacks.setdefault(op.exec_end + 1, []).append(op)
+                continue
+            preg = op.dest_preg
+            info = self.pinfo[preg]
+            if info is None:  # pragma: no cover - freed before write
+                continue
+            if self.cache is not None:
+                self.backing.record_write()
+                ctx = WriteContext(
+                    pred_uses=op.pred_eff,
+                    bypassed_first_stage=info.bypass_first,
+                    pinned=op.pinned,
+                )
+                if self.insertion.should_insert(ctx):
+                    remaining = max(0, op.pred_eff - info.bypass_total)
+                    self.cache.write(
+                        preg, op.dest_set, remaining, op.pinned, now
+                    )
+                else:
+                    self.cache.record_filtered_write(preg)
+            elif self.rf is not None:
+                self.rf.record_write()
+
+    def _process_resolves(self, now: int) -> None:
+        for op in self._resolves.pop(now):
+            if op.exec_end + 1 != now:
+                self._resolves.setdefault(op.exec_end + 1, []).append(op)
+                continue
+            self.frontend.resume(now)
+            self.stats.branch_mispredicts += 1
+            self._release_wrongpath()
+            if self.two_level is not None:
+                extra = self.two_level.on_mispredict(
+                    now, self.config.front_depth
+                )
+                if extra:
+                    self._dispatch_blocked_until = max(
+                        self._dispatch_blocked_until, now + extra
+                    )
+
+    # ------------------------------------------------------------------
+    # Retire.
+
+    def _retire(self, now: int) -> None:
+        config = self.config
+        retired_this = 0
+        stores_this = 0
+        rob = self.rob
+        while rob and retired_this < config.retire_width:
+            op = rob[0]
+            if op.status != _ISSUED:
+                break
+            if now < op.exec_end + 1 + config.retire_delay:
+                break
+            if op.dyn.is_store:
+                if stores_this >= config.max_store_retire:
+                    break
+                if self.memory is not None and not self.memory.store(
+                    op.dyn.mem_addr, now
+                ):
+                    break
+                stores_this += 1
+            rob.popleft()
+            retired_this += 1
+            self.retired += 1
+            if op.prev_preg >= 0:
+                self._free_preg(op.prev_preg, now)
+
+    def _free_preg(self, preg: int, now: int) -> None:
+        info = self.pinfo[preg]
+        if info is None:
+            raise SimulationError(f"freeing preg {preg} with no info")
+        write_time = info.exec_end + 1
+        last_read = max(info.last_read, write_time)
+        self.stats.lifetimes.append(
+            LifetimeRecord(info.alloc_time, write_time, last_read, now)
+        )
+        if self.predictor is not None:
+            self.predictor.train(info.pc, info.fcf, info.uses_renamed)
+            self.predictor.record_outcome(info.predicted, info.uses_renamed)
+        if self.cache is not None:
+            self.cache.invalidate(preg, now)
+            self.index_policy.release(info.assigned_set, info.pred_eff)
+        if self.two_level is not None:
+            self.two_level.free(preg)
+        self.freelist.release(preg)
+        self.pinfo[preg] = None
+
+    # ------------------------------------------------------------------
+    # Issue.
+
+    def _bucket(self, op: _Op, when: int) -> None:
+        self._ready.setdefault(when, []).append(op)
+
+    def _source_state(self, preg: int, t: int) -> tuple[int, int]:
+        """Classify one operand at candidate issue time *t*.
+
+        Returns ``(kind, next_time)`` where kind is 1 = first-stage
+        bypass, 2 = later bypass stage, 3 = storage, and 0 = not ready
+        until ``next_time``.
+        """
+        info = self.pinfo[preg]
+        if info is None or not info.issued:
+            # Producer not yet issued (waiters should prevent this) or
+            # already freed (impossible before consumer issue); treat as
+            # not ready next cycle.
+            return 0, t + 1
+        earliest = info.exec_end - self.read_latency
+        if t < earliest:
+            return 0, earliest
+        if t < earliest + self.bypass_stages:
+            return (1 if t == earliest else 2), t
+        if self.rf is not None:
+            storage_from = (
+                info.exec_end + self.rf.write_latency - self.rf.read_latency
+            )
+        else:
+            storage_from = info.exec_end + 1
+        if t >= storage_from:
+            return 3, t
+        return 0, storage_from
+
+    def _issue(self, now: int) -> None:
+        candidates = self._ready.pop(now, None)
+        if not candidates:
+            return
+        candidates.sort(key=lambda op: op.seq)
+        config = self.config
+        fu_used: dict[OpClass, int] = {}
+        issued = 0
+        for position, op in enumerate(candidates):
+            if issued >= config.issue_width:
+                for leftover in candidates[position:]:
+                    self._bucket(leftover, now + 1)
+                break
+            kinds = []
+            next_time = now
+            ready = True
+            for preg, _assigned in op.sources:
+                if preg < 0:
+                    kinds.append(-1)
+                    continue
+                kind, when = self._source_state(preg, now)
+                if kind == 0:
+                    ready = False
+                    next_time = max(next_time, when)
+                    break
+                kinds.append(kind)
+            if not ready:
+                self._bucket(op, max(now + 1, next_time))
+                continue
+            op_class = op.dyn.op_class
+            pool = config.fu_counts.get(op_class, 1)
+            if fu_used.get(op_class, 0) >= pool:
+                self._bucket(op, now + 1)
+                continue
+            fu_used[op_class] = fu_used.get(op_class, 0) + 1
+            issued += 1
+            self._do_issue(op, now, kinds)
+
+    def _do_issue(self, op: _Op, now: int, kinds: list[int]) -> None:
+        stats = self.stats
+        op.status = _ISSUED
+        op.issue_time = now
+        op.exec_start = now + 1 + self.read_latency
+        op.exec_end = op.exec_start + op.dyn.latency - 1
+        self.window_count -= 1
+        if self.config.record_timing:
+            self.issue_log[op.seq] = op
+
+        for (preg, assigned_set), kind in zip(op.sources, kinds):
+            if kind < 0:
+                continue
+            info = self.pinfo[preg]
+            if kind == 1:
+                info.bypass_first += 1
+                info.bypass_total += 1
+                stats.operands_bypass += 1
+                stats.operands_bypass_first += 1
+            elif kind == 2:
+                info.bypass_total += 1
+                stats.operands_bypass += 1
+            else:
+                stats.operands_storage += 1
+                if self.cache is not None:
+                    self._lookups.setdefault(now + 1, []).append(
+                        (op, preg, assigned_set)
+                    )
+                elif self.rf is not None:
+                    self.rf.record_read()
+                    stats.rf_reads += 1
+            if info.last_read < op.exec_start:
+                info.last_read = op.exec_start
+            if self.two_level is not None:
+                self.two_level.consumer_executed(preg, now)
+
+        if op.dest_preg >= 0:
+            dest_info = self.pinfo[op.dest_preg]
+            dest_info.issued = True
+            dest_info.exec_end = op.exec_end
+            self._writebacks.setdefault(op.exec_end + 1, []).append(op)
+            if dest_info.waiters:
+                for waiter in dest_info.waiters:
+                    waiter.unready -= 1
+                    if waiter.unready == 0:
+                        self._bucket(waiter, max(now + 1,
+                                                 self._earliest(waiter)))
+                dest_info.waiters = []
+        if op.dyn.is_load and self.memory is not None:
+            self._dcache_events.setdefault(now + 1, []).append(op)
+        if op.mispredicted:
+            self._resolves.setdefault(op.exec_end + 1, []).append(op)
+
+    def _earliest(self, op: _Op) -> int:
+        earliest = 0
+        for preg, _assigned in op.sources:
+            if preg < 0:
+                continue
+            info = self.pinfo[preg]
+            if info is None or not info.issued:
+                continue
+            earliest = max(earliest, info.exec_end - self.read_latency)
+        return earliest
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+
+    def _dispatch(self, now: int) -> None:
+        config = self.config
+        if now < self._dispatch_blocked_until:
+            self.stats.rename_stall_cycles += 1
+            return
+        budget = config.dispatch_width
+        stalled = False
+        while budget > 0:
+            if (
+                self.window_count >= config.window_size
+                or len(self.rob) >= config.rob_size
+            ):
+                stalled = self.frontend.peek_ready(now)
+                break
+            fetched_peek = self.frontend.peek(now)
+            if fetched_peek is None:
+                break
+            dyn = fetched_peek.dyn
+            if dyn.writes_register:
+                if self.two_level is not None:
+                    if not self.two_level.can_allocate():
+                        if not self.rob:
+                            # Nothing in flight can ever free a slot:
+                            # the program needs more registers than the
+                            # L1 file holds.
+                            raise SimulationError(
+                                "two-level L1 register file too small "
+                                f"({self.two_level.l1_capacity} entries) "
+                                "for the program's architectural "
+                                "register demand"
+                            )
+                        self.two_level.note_rename_stall()
+                        stalled = True
+                        break
+                elif self.freelist.free_count <= self._wrongpath_reserved:
+                    stalled = True
+                    break
+            fetched = self.frontend.pull(now, 1)[0]
+            self._dispatch_one(fetched, now)
+            budget -= 1
+        if stalled:
+            self.stats.dispatch_stall_cycles += 1
+
+    def _reserve_wrongpath(self) -> None:
+        """Hold registers for the wrong-path renames a real front end
+        would perform between a misprediction and its resolution."""
+        amount = self.config.wrongpath_alloc
+        if amount <= 0:
+            return
+        if self.two_level is not None:
+            amount = min(amount, max(0, self.two_level.free_slots - 4))
+            self.two_level.free_slots -= amount
+            self._wrongpath_reserved = amount
+        else:
+            self._wrongpath_reserved = amount
+
+    def _release_wrongpath(self) -> None:
+        """Return wrong-path reservations at branch resolution."""
+        if self._wrongpath_reserved and self.two_level is not None:
+            self.two_level.free_slots += self._wrongpath_reserved
+        self._wrongpath_reserved = 0
+
+    def _dispatch_one(self, fetched, now: int) -> None:
+        dyn = fetched.dyn
+        op = _Op(dyn.seq, dyn)
+        op.mispredicted = fetched.mispredicted
+        if fetched.mispredicted:
+            self._reserve_wrongpath()
+
+        predicted = None
+        if self.predictor is not None and dyn.writes_register:
+            predicted = self.predictor.predict(dyn.pc, self.fcf[dyn.seq])
+        config = self.config
+        if dyn.writes_register:
+            raw = predicted if predicted is not None else config.unknown_default
+            op.pred_eff = min(raw, config.max_use)
+            op.pinned = bool(
+                config.pin_at_max
+                and predicted is not None
+                and op.pred_eff == config.max_use
+            )
+        op.predicted = predicted
+
+        renamed = self.renamer.rename(dyn, op.pred_eff)
+        op.sources = renamed.sources
+        op.dest_preg = renamed.dest_preg
+        op.dest_set = renamed.dest_set
+        op.prev_preg = renamed.prev_preg
+
+        if op.dest_preg >= 0:
+            info = _PregInfo(dyn.pc, self.fcf[dyn.seq], now)
+            info.producer_seq = dyn.seq
+            info.pred_eff = op.pred_eff
+            info.pinned = op.pinned
+            info.predicted = predicted
+            info.assigned_set = op.dest_set
+            self.pinfo[op.dest_preg] = info
+            if self.two_level is not None:
+                self.two_level.allocate(op.dest_preg)
+        if op.prev_preg >= 0 and self.two_level is not None:
+            self.two_level.reassigned(op.prev_preg, now)
+
+        unready = 0
+        if self.config.record_timing:
+            op.src_producer_seqs = tuple(
+                self.pinfo[preg].producer_seq if preg >= 0 else -1
+                for preg, _assigned in op.sources
+            )
+        for preg, _assigned in op.sources:
+            if preg < 0:
+                continue
+            info = self.pinfo[preg]
+            info.uses_renamed += 1
+            if self.two_level is not None:
+                self.two_level.add_pending_consumer(preg)
+            if not info.issued:
+                info.waiters.append(op)
+                unready += 1
+        op.unready = unready
+        if unready == 0:
+            self._bucket(op, max(now + 1, self._earliest(op)))
+
+        self.rob.append(op)
+        self.window_count += 1
+
+    # ------------------------------------------------------------------
+
+    def _finalize(self, cycles: int) -> None:
+        stats = self.stats
+        stats.cycles = cycles
+        stats.retired = self.retired
+        if self.cache is not None:
+            self.cache.finalize(cycles)
+            stats.cache = self.cache.stats
+            stats.rf_reads = self.backing.reads
+            stats.rf_writes = self.backing.writes
+        elif self.rf is not None:
+            stats.rf_writes = self.rf.writes
+        if self.two_level is not None:
+            stats.tl_moves = self.two_level.moves
+            stats.tl_restores = self.two_level.restores
+            stats.tl_recovery_stalls = self.two_level.recovery_stall_cycles
+            stats.rename_stall_cycles += self.two_level.rename_stall_cycles
+        if self.predictor is not None:
+            stats.predictor_queries = self.predictor.queries
+            stats.predictor_supplied = self.predictor.supplied
+            stats.predictor_correct = self.predictor.correct
+        # Close lifetime records for values still allocated at the end.
+        for preg, info in enumerate(self.pinfo):
+            if info is None or not info.issued:
+                continue
+            write_time = info.exec_end + 1
+            last_read = max(info.last_read, write_time)
+            stats.lifetimes.append(LifetimeRecord(
+                info.alloc_time, write_time, last_read, cycles
+            ))
+
+
+class _ICacheAdapter:
+    """Adapts :class:`MemoryHierarchy` to the FrontEnd icache protocol."""
+
+    __slots__ = ("hierarchy",)
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+
+    def access(self, line: int) -> int:
+        return self.hierarchy.ifetch(line)

@@ -1,0 +1,139 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regfile.register_cache import CacheStats
+
+
+@dataclass
+class LifetimeRecord:
+    """Lifecycle timestamps of one physical-register allocation.
+
+    The three phases of Figure 1 derive from these: empty = write -
+    alloc; live = last_read - write; dead = free - last_read.
+    """
+
+    alloc: int
+    write: int
+    last_read: int
+    free: int
+
+    @property
+    def empty_time(self) -> int:
+        return max(0, self.write - self.alloc)
+
+    @property
+    def live_time(self) -> int:
+        return max(0, self.last_read - self.write)
+
+    @property
+    def dead_time(self) -> int:
+        return max(0, self.free - self.last_read)
+
+
+@dataclass
+class SimStats:
+    """Everything measured during one timing-simulation run."""
+
+    benchmark: str = ""
+    scheme: str = ""
+    cycles: int = 0
+    retired: int = 0
+
+    # Operand sourcing at issue.
+    operands_bypass: int = 0
+    operands_bypass_first: int = 0
+    operands_storage: int = 0
+
+    # Register cache (None for non-cache schemes).
+    cache: CacheStats | None = None
+
+    # Register file / backing file traffic.
+    rf_reads: int = 0
+    rf_writes: int = 0
+
+    # Speculation events.
+    branch_mispredicts: int = 0
+    rc_miss_events: int = 0
+    load_miss_replays: int = 0
+    issue_blocked_cycles: int = 0
+
+    # Front-end and rename stalls.
+    dispatch_stall_cycles: int = 0
+    rename_stall_cycles: int = 0  # two-level only
+
+    # Two-level move engine.
+    tl_moves: int = 0
+    tl_restores: int = 0
+    tl_recovery_stalls: int = 0
+
+    # Degree-of-use predictor.
+    predictor_queries: int = 0
+    predictor_supplied: int = 0
+    predictor_correct: int = 0
+
+    # Per-value lifetime log (Figure 1 / Figure 2 inputs).
+    lifetimes: list[LifetimeRecord] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def bypass_fraction(self) -> float:
+        """Fraction of operands supplied by the bypass network."""
+        total = self.operands_bypass + self.operands_storage
+        return self.operands_bypass / total if total else 0.0
+
+    @property
+    def predictor_accuracy(self) -> float:
+        """Degree-of-use predictor accuracy on supplied predictions."""
+        if not self.predictor_supplied:
+            return 0.0
+        return self.predictor_correct / self.predictor_supplied
+
+    # Bandwidth figures (Figure 9): accesses per cycle.
+
+    @property
+    def cache_read_bandwidth(self) -> float:
+        if not self.cycles or self.cache is None:
+            return 0.0
+        return self.cache.reads / self.cycles
+
+    @property
+    def cache_write_bandwidth(self) -> float:
+        if not self.cycles or self.cache is None:
+            return 0.0
+        writes = self.cache.writes_initial + self.cache.writes_fill
+        return writes / self.cycles
+
+    @property
+    def rf_read_bandwidth(self) -> float:
+        return self.rf_reads / self.cycles if self.cycles else 0.0
+
+    @property
+    def rf_write_bandwidth(self) -> float:
+        return self.rf_writes / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline numbers (for reports and tests)."""
+        out = {
+            "ipc": self.ipc,
+            "cycles": float(self.cycles),
+            "retired": float(self.retired),
+            "bypass_fraction": self.bypass_fraction,
+            "branch_mispredicts": float(self.branch_mispredicts),
+            "predictor_accuracy": self.predictor_accuracy,
+        }
+        if self.cache is not None:
+            out.update({
+                "miss_rate": self.cache.miss_rate,
+                "reads_per_cached_value": self.cache.reads_per_cached_value,
+                "cache_count": self.cache.cache_count,
+                "avg_occupancy": self.cache.average_occupancy(self.cycles),
+                "avg_entry_lifetime": self.cache.average_lifetime,
+            })
+        return out

@@ -1,0 +1,15 @@
+"""Front-end models: branch prediction and fetch timing."""
+
+from repro.frontend.branch import BimodalPredictor, SaturatingCounter, YagsPredictor
+from repro.frontend.btb import IndirectPredictor, ReturnAddressStack
+from repro.frontend.fetch import FetchedInst, FrontEnd
+
+__all__ = [
+    "BimodalPredictor",
+    "FetchedInst",
+    "FrontEnd",
+    "IndirectPredictor",
+    "ReturnAddressStack",
+    "SaturatingCounter",
+    "YagsPredictor",
+]

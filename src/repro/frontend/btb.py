@@ -1,0 +1,89 @@
+"""Branch-target structures: return address stack and indirect predictor.
+
+Table 1 specifies a perfect BTB (direct branch targets are always known),
+a 64-entry return address stack, and a 32KB cascading indirect branch
+predictor. With a trace-driven front end the only question for each
+control transfer is whether its *target* was predicted correctly; a wrong
+target costs the same as a wrong direction.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Bounded return-address stack with overwrite-on-overflow.
+
+    Calls push their return address; returns pop and predict. A deep call
+    chain wraps and loses the oldest entries, as in real hardware.
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        """Record the return address of a call."""
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            del self._stack[0]
+
+    def pop(self) -> int | None:
+        """Predicted target of a return, or ``None`` if empty."""
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class IndirectPredictor:
+    """Two-stage (cascading) tagged target predictor for indirect jumps.
+
+    The first stage is a per-pc last-target table; the second stage is a
+    path-history-indexed tagged table that captures targets correlated
+    with recent control flow (interpreter dispatch loops need this).
+    """
+
+    def __init__(
+        self, first_entries: int = 1_024, second_entries: int = 4_096,
+        history_bits: int = 12,
+    ) -> None:
+        self.first = [-1] * first_entries
+        self.first_entries = first_entries
+        self.second_targets = [-1] * second_entries
+        self.second_tags = [-1] * second_entries
+        self.second_entries = second_entries
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self.lookups = 0
+        self.correct = 0
+
+    def _second_index(self, pc: int) -> tuple[int, int]:
+        index = (pc * 31 ^ self.history) % self.second_entries
+        return index, pc & 0x3FF
+
+    def predict(self, pc: int) -> int | None:
+        """Predicted target for the indirect branch at *pc*."""
+        index, tag = self._second_index(pc)
+        if self.second_tags[index] == tag and self.second_targets[index] >= 0:
+            return self.second_targets[index]
+        target = self.first[pc % self.first_entries]
+        return target if target >= 0 else None
+
+    def update(self, pc: int, target: int) -> None:
+        """Train both stages and update path history."""
+        prediction = self.predict(pc)
+        self.lookups += 1
+        if prediction == target:
+            self.correct += 1
+        self.first[pc % self.first_entries] = target
+        index, tag = self._second_index(pc)
+        self.second_tags[index] = tag
+        self.second_targets[index] = target
+        self.history = ((self.history << 3) ^ (target & 0x7)) & self.history_mask
+
+    @property
+    def accuracy(self) -> float:
+        """Observed target-prediction accuracy so far."""
+        return self.correct / self.lookups if self.lookups else 0.0

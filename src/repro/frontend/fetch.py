@@ -1,0 +1,211 @@
+"""Trace-driven front end: fetch timing plus branch prediction.
+
+The front end walks the committed trace in order and computes, for each
+instruction, the cycle at which it becomes available to the dispatch
+stage. It models:
+
+* 8-wide fetch with at most one taken branch per fetch block (Table 1),
+* instruction-cache misses stalling fetch,
+* branch prediction (YAGS direction, perfect BTB for direct targets, RAS
+  for returns, cascading indirect predictor) — a misprediction stops
+  fetch until the pipeline reports the branch resolved, modelling the
+  full misprediction loop,
+* the front-end pipeline depth (fetch + decode + rename + dispatch
+  stages) between fetch and dispatch availability.
+
+Wrong-path instructions are not injected; their cost is the fetch gap
+plus the refill depth, matching the paper's minimum 15-cycle
+misprediction loop when the register read takes one cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.frontend.branch import YagsPredictor
+from repro.frontend.btb import IndirectPredictor, ReturnAddressStack
+from repro.isa.instruction import LINK_REG
+from repro.vm.trace import DynamicInst, Trace
+
+
+class FetchedInst:
+    """A fetched instruction waiting for dispatch.
+
+    Attributes:
+        dyn: the dynamic instruction.
+        ready_at: earliest cycle the dispatch stage may consume it.
+        mispredicted: True when this is a branch the front end predicted
+            incorrectly; fetch stops after it until ``resume`` is called.
+    """
+
+    __slots__ = ("dyn", "ready_at", "mispredicted")
+
+    def __init__(self, dyn: DynamicInst, ready_at: int, mispredicted: bool):
+        self.dyn = dyn
+        self.ready_at = ready_at
+        self.mispredicted = mispredicted
+
+
+class FrontEnd:
+    """Computes dispatch-availability times for a committed trace.
+
+    Args:
+        trace: the committed instruction stream.
+        fetch_width: instructions fetched per cycle.
+        front_depth: pipeline stages between fetch and dispatch
+            availability (fetch 4 + decode 2 + rename 3 + dispatch 2 = 11
+            per Table 1; the extra issue stage is modelled in the core).
+        queue_capacity: fetch-queue depth providing elasticity between
+            fetch and dispatch.
+        icache: optional object with ``access(line:int) -> int`` returning
+            additional stall cycles for fetching the given line.
+        line_insts: instructions per I-cache line (64-byte lines of
+            4-byte instructions).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        *,
+        fetch_width: int = 8,
+        front_depth: int = 11,
+        queue_capacity: int = 48,
+        icache=None,
+        line_insts: int = 16,
+    ) -> None:
+        self.records = trace.records
+        self.fetch_width = fetch_width
+        self.front_depth = front_depth
+        self.queue_capacity = queue_capacity
+        self.icache = icache
+        self.line_insts = line_insts
+
+        self.direction = YagsPredictor()
+        self.indirect = IndirectPredictor()
+        self.ras = ReturnAddressStack()
+
+        self._queue: deque[FetchedInst] = deque()
+        self._next_index = 0
+        self._fetch_cycle = 0
+        self._slots_left = fetch_width
+        self._stalled_for_branch = False
+        self._last_line = -1
+
+        self.branches_seen = 0
+        self.mispredicts = 0
+
+    # ------------------------------------------------------------------
+
+    def exhausted(self) -> bool:
+        """True when the whole trace has been fetched and dispatched."""
+        return self._next_index >= len(self.records) and not self._queue
+
+    def resume(self, cycle: int) -> None:
+        """Restart fetch after a mispredicted branch resolves at *cycle*.
+
+        The next fetch block begins the cycle after resolution (redirect
+        takes effect at the start of ``cycle + 1``).
+        """
+        self._stalled_for_branch = False
+        self._fetch_cycle = max(self._fetch_cycle, cycle + 1)
+        self._slots_left = self.fetch_width
+        self._last_line = -1
+
+    def pull(self, now: int, max_count: int) -> list[FetchedInst]:
+        """Return up to *max_count* instructions dispatchable at *now*.
+
+        The caller is responsible for further admission control (window,
+        ROB, and physical-register availability); instructions not
+        consumed remain queued.
+        """
+        self._fill_queue(now)
+        out: list[FetchedInst] = []
+        while (
+            self._queue
+            and len(out) < max_count
+            and self._queue[0].ready_at <= now
+        ):
+            out.append(self._queue.popleft())
+        return out
+
+    def peek_ready(self, now: int) -> bool:
+        """True if at least one instruction is dispatchable at *now*."""
+        self._fill_queue(now)
+        return bool(self._queue) and self._queue[0].ready_at <= now
+
+    def peek(self, now: int) -> FetchedInst | None:
+        """Next dispatchable instruction without consuming it."""
+        if not self.peek_ready(now):
+            return None
+        return self._queue[0]
+
+    # ------------------------------------------------------------------
+
+    def _fill_queue(self, now: int) -> None:
+        """Fetch ahead until the queue is full or fetch passes *now*."""
+        while (
+            not self._stalled_for_branch
+            and self._next_index < len(self.records)
+            and len(self._queue) < self.queue_capacity
+            and self._fetch_cycle <= now
+        ):
+            self._fetch_one()
+
+    def _fetch_one(self) -> None:
+        dyn = self.records[self._next_index]
+        self._next_index += 1
+
+        line = dyn.pc // self.line_insts
+        if line != self._last_line:
+            self._last_line = line
+            if self.icache is not None:
+                stall = self.icache.access(line)
+                if stall:
+                    self._fetch_cycle += stall
+                    self._slots_left = self.fetch_width
+
+        ends_block = False
+        mispredicted = False
+        if dyn.is_branch:
+            mispredicted = not self._predict(dyn)
+            if dyn.taken or mispredicted:
+                ends_block = True
+
+        fetched = FetchedInst(
+            dyn, self._fetch_cycle + self.front_depth, mispredicted
+        )
+        self._queue.append(fetched)
+
+        self._slots_left -= 1
+        if mispredicted:
+            # Fetch stops; the pipeline calls resume() at resolution.
+            self._stalled_for_branch = True
+            return
+        if ends_block or self._slots_left == 0:
+            self._fetch_cycle += 1
+            self._slots_left = self.fetch_width
+            self._last_line = -1 if ends_block else self._last_line
+
+    def _predict(self, dyn: DynamicInst) -> bool:
+        """Predict *dyn* and train; returns True when fully correct."""
+        inst = dyn.inst
+        correct = True
+        if dyn.is_conditional:
+            self.branches_seen += 1
+            predicted = self.direction.predict(dyn.pc)
+            self.direction.update(dyn.pc, dyn.taken)
+            correct = predicted == dyn.taken
+        elif dyn.is_indirect:
+            if inst.src1 == LINK_REG and inst.dest is None:
+                # Return: predict through the RAS.
+                predicted_target = self.ras.pop()
+            else:
+                predicted_target = self.indirect.predict(dyn.pc)
+                self.indirect.update(dyn.pc, dyn.target)
+            correct = predicted_target == dyn.target
+        # Direct jumps/branches have perfect targets (perfect BTB).
+        if dyn.is_branch and inst.dest == LINK_REG:
+            self.ras.push(dyn.pc + 1)
+        if not correct:
+            self.mispredicts += 1
+        return correct

@@ -1,0 +1,264 @@
+"""A small two-pass assembler for the synthetic ISA.
+
+Syntax overview (one statement per line, ``#`` starts a comment)::
+
+    main:                       # label
+        addi r2, r0, 100        # immediate ALU
+        add  r4, r4, r3         # three-register ALU
+        lw   r3, 0(r2)          # load: offset(base)
+        sw   r3, 4(r2)          # store: data, offset(base)
+        beq  r2, r5, loop       # branch to label (absolute target)
+        jal  func               # call (link register implicit)
+        jalr r9                 # indirect call through r9
+        ret                     # return through the link register
+        halt
+    .data 100: 1 2 3 0xff       # initial data memory at word address 100
+
+Branch immediates hold *absolute instruction indices*; the assembler
+resolves label references in the second pass.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.instruction import LINK_REG, Instruction
+from repro.isa.opcodes import MNEMONICS, Opcode, spec_for
+from repro.isa.program import Program
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):(.*)$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((r\d+)\)$")
+_DATA_RE = re.compile(r"^\.data\s+(\d+)\s*:\s*(.*)$")
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer {token!r}", line_number) from None
+
+
+def _parse_reg(token: str, line_number: int) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblyError(f"expected register, got {token!r}", line_number)
+    return int(match.group(1))
+
+
+class _PendingLabel:
+    """Placeholder immediate resolved to a label's address in pass two."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def assemble(source: str, name: str = "<asm>") -> Program:
+    """Assemble *source* text into a :class:`Program`.
+
+    Args:
+        source: assembly text in the syntax described in the module doc.
+        name: program name recorded on the result.
+
+    Returns:
+        A validated :class:`Program`.
+
+    Raises:
+        AssemblyError: on any syntax error or undefined label.
+    """
+    program = Program(name=name)
+    pending: list[tuple[int, _PendingLabel, int]] = []
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        data_match = _DATA_RE.match(line)
+        if data_match:
+            base = int(data_match.group(1))
+            values = data_match.group(2).split()
+            for offset, token in enumerate(values):
+                program.data[base + offset] = _parse_int(token, line_number)
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in program.labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_number)
+            program.labels[label] = len(program.instructions)
+            line = label_match.group(2).strip()
+            if not line:
+                continue
+        inst = _parse_instruction(line, line_number, pending,
+                                  len(program.instructions))
+        program.instructions.append(inst)
+
+    resolved = list(program.instructions)
+    for index, placeholder, line_number in pending:
+        target = program.labels.get(placeholder.name)
+        if target is None:
+            raise AssemblyError(
+                f"undefined label {placeholder.name!r}", line_number
+            )
+        inst = resolved[index]
+        resolved[index] = Instruction(
+            opcode=inst.opcode, dest=inst.dest, src1=inst.src1,
+            src2=inst.src2, imm=target, label=inst.label,
+        )
+    program.instructions = resolved
+
+    try:
+        program.validate()
+    except ValueError as exc:
+        raise AssemblyError(str(exc)) from exc
+    return program
+
+
+def _parse_instruction(
+    line: str,
+    line_number: int,
+    pending: list[tuple[int, _PendingLabel, int]],
+    index: int,
+) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    opcode = MNEMONICS.get(mnemonic)
+    if opcode is None:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_number)
+    operands = (
+        [tok.strip() for tok in parts[1].split(",")] if len(parts) > 1 else []
+    )
+
+    def imm_or_label(token: str) -> int:
+        if _REG_RE.match(token):
+            raise AssemblyError(
+                f"expected immediate or label, got register {token!r}",
+                line_number,
+            )
+        try:
+            return int(token, 0)
+        except ValueError:
+            pending.append((index, _PendingLabel(token), line_number))
+            return 0
+
+    spec = spec_for(opcode)
+    if opcode in (Opcode.LW, Opcode.LB):
+        if len(operands) != 2:
+            raise AssemblyError("load needs: rd, offset(base)", line_number)
+        dest = _parse_reg(operands[0], line_number)
+        mem = _MEM_RE.match(operands[1])
+        if not mem:
+            raise AssemblyError(
+                f"bad memory operand {operands[1]!r}", line_number
+            )
+        return Instruction(
+            opcode, dest=dest,
+            src1=_parse_reg(mem.group(2), line_number),
+            imm=int(mem.group(1), 0),
+        )
+    if opcode in (Opcode.SW, Opcode.SB):
+        if len(operands) != 2:
+            raise AssemblyError("store needs: rs, offset(base)", line_number)
+        data_reg = _parse_reg(operands[0], line_number)
+        mem = _MEM_RE.match(operands[1])
+        if not mem:
+            raise AssemblyError(
+                f"bad memory operand {operands[1]!r}", line_number
+            )
+        return Instruction(
+            opcode,
+            src1=_parse_reg(mem.group(2), line_number),
+            src2=data_reg,
+            imm=int(mem.group(1), 0),
+        )
+    if spec.is_conditional:
+        if len(operands) != 3:
+            raise AssemblyError("branch needs: rs1, rs2, target", line_number)
+        return Instruction(
+            opcode,
+            src1=_parse_reg(operands[0], line_number),
+            src2=_parse_reg(operands[1], line_number),
+            imm=imm_or_label(operands[2]),
+        )
+    if opcode is Opcode.JAL:
+        if len(operands) == 1:
+            return Instruction(opcode, dest=LINK_REG,
+                               imm=imm_or_label(operands[0]))
+        if len(operands) == 2:
+            return Instruction(
+                opcode, dest=_parse_reg(operands[0], line_number),
+                imm=imm_or_label(operands[1]),
+            )
+        raise AssemblyError("jal needs: [rd,] target", line_number)
+    if opcode is Opcode.JALR:
+        if len(operands) == 1:
+            return Instruction(
+                opcode, dest=LINK_REG,
+                src1=_parse_reg(operands[0], line_number), imm=0,
+            )
+        if len(operands) == 3:
+            return Instruction(
+                opcode,
+                dest=_parse_reg(operands[0], line_number),
+                src1=_parse_reg(operands[1], line_number),
+                imm=_parse_int(operands[2], line_number),
+            )
+        raise AssemblyError("jalr needs: rs | rd, rs, imm", line_number)
+    if opcode is Opcode.RET:
+        if len(operands) == 0:
+            return Instruction(opcode, src1=LINK_REG)
+        if len(operands) == 1:
+            return Instruction(
+                opcode, src1=_parse_reg(operands[0], line_number)
+            )
+        raise AssemblyError("ret needs: [rs]", line_number)
+    if opcode is Opcode.LUI:
+        if len(operands) != 2:
+            raise AssemblyError("lui needs: rd, imm", line_number)
+        return Instruction(
+            opcode, dest=_parse_reg(operands[0], line_number),
+            imm=_parse_int(operands[1], line_number),
+        )
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        if operands:
+            raise AssemblyError(
+                f"{mnemonic} takes no operands", line_number
+            )
+        return Instruction(opcode)
+    if opcode is Opcode.OUT:
+        if len(operands) != 1:
+            raise AssemblyError("out needs: rs", line_number)
+        return Instruction(opcode, src1=_parse_reg(operands[0], line_number))
+    if opcode is Opcode.MOV:
+        if len(operands) != 2:
+            raise AssemblyError("mov needs: rd, rs", line_number)
+        return Instruction(
+            opcode,
+            dest=_parse_reg(operands[0], line_number),
+            src1=_parse_reg(operands[1], line_number),
+        )
+    # Generic ALU forms. Immediates may be label references (resolved to
+    # the label's instruction index), which lets programs build jump
+    # tables at run time.
+    if spec.has_imm:
+        if len(operands) != 3:
+            raise AssemblyError(
+                f"{mnemonic} needs: rd, rs, imm", line_number
+            )
+        return Instruction(
+            opcode,
+            dest=_parse_reg(operands[0], line_number),
+            src1=_parse_reg(operands[1], line_number),
+            imm=imm_or_label(operands[2]),
+        )
+    if len(operands) != 3:
+        raise AssemblyError(f"{mnemonic} needs: rd, rs1, rs2", line_number)
+    return Instruction(
+        opcode,
+        dest=_parse_reg(operands[0], line_number),
+        src1=_parse_reg(operands[1], line_number),
+        src2=_parse_reg(operands[2], line_number),
+    )

@@ -1,0 +1,121 @@
+"""Static instruction representation.
+
+A :class:`Instruction` is one *static* instruction in a program: an opcode
+plus architectural register operands and an immediate. Dynamic instances
+(with resolved values, addresses, and branch outcomes) are represented by
+:class:`repro.vm.trace.DynamicInst`.
+
+Architectural registers are integers ``0 .. NUM_ARCH_REGS-1``; register 0
+is hardwired to zero as in most RISC ISAs. Registers 56-63 are reserved as
+floating-point-style registers only by workload convention; the hardware
+treats all architectural registers uniformly (the paper's evaluation also
+unifies integer and FP register files for the two-level comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode, OpcodeSpec, spec_for
+
+#: Number of architectural registers (matches a unified int+fp Alpha-like
+#: register file: 32 integer + 32 floating point).
+NUM_ARCH_REGS = 64
+
+#: The hardwired-zero register.
+ZERO_REG = 0
+
+#: Conventional link register used by JAL/RET (like Alpha ra / RISC-V x1).
+LINK_REG = 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Attributes:
+        opcode: operation to perform.
+        dest: destination architectural register, or ``None``.
+        src1: first source architectural register, or ``None``.
+        src2: second source architectural register, or ``None``.
+        imm: immediate value (branch target index, load/store offset,
+            ALU immediate), or 0 when unused.
+        label: optional source-level label for diagnostics.
+    """
+
+    opcode: Opcode
+    dest: int | None = None
+    src1: int | None = None
+    src2: int | None = None
+    imm: int = 0
+    label: str = field(default="", compare=False)
+
+    @property
+    def spec(self) -> OpcodeSpec:
+        """Static properties of this instruction's opcode."""
+        return spec_for(self.opcode)
+
+    def sources(self) -> tuple[int, ...]:
+        """Architectural source registers actually read.
+
+        Reads of the hardwired zero register are included here (the VM
+        supplies zero); the rename stage filters them out because they
+        never create a physical-register dependence.
+        """
+        out = []
+        if self.src1 is not None:
+            out.append(self.src1)
+        if self.src2 is not None:
+            out.append(self.src2)
+        return tuple(out)
+
+    def writes_register(self) -> bool:
+        """True when the instruction produces a register value.
+
+        Writes to the zero register are discarded and therefore do not
+        count as producing a value.
+        """
+        return self.dest is not None and self.dest != ZERO_REG
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        ops = []
+        if self.dest is not None:
+            ops.append(f"r{self.dest}")
+        if self.src1 is not None:
+            ops.append(f"r{self.src1}")
+        if self.src2 is not None:
+            ops.append(f"r{self.src2}")
+        if self.spec.has_imm:
+            ops.append(str(self.imm))
+        text = parts[0] + (" " + ", ".join(ops) if ops else "")
+        if self.label:
+            text = f"{self.label}: {text}"
+        return text
+
+
+def validate(inst: Instruction) -> None:
+    """Check that *inst* is well-formed for its opcode.
+
+    Raises:
+        ValueError: if the operand shape does not match the opcode spec or
+            a register index is out of range.
+    """
+    spec = inst.spec
+    present_sources = sum(s is not None for s in (inst.src1, inst.src2))
+    if present_sources != spec.num_sources:
+        raise ValueError(
+            f"{inst.opcode.value}: expected {spec.num_sources} sources, "
+            f"got {present_sources}"
+        )
+    if spec.has_dest != (inst.dest is not None):
+        raise ValueError(
+            f"{inst.opcode.value}: destination "
+            f"{'required' if spec.has_dest else 'not allowed'}"
+        )
+    for reg in (inst.dest, inst.src1, inst.src2):
+        if reg is not None and not 0 <= reg < NUM_ARCH_REGS:
+            raise ValueError(
+                f"{inst.opcode.value}: register r{reg} out of range "
+                f"0..{NUM_ARCH_REGS - 1}"
+            )

@@ -1,0 +1,64 @@
+"""Program container: instruction sequence plus initial data memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction, validate
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: static instruction sequence; the program counter is
+            an index into this list (word-addressed code).
+        labels: map from label name to instruction index.
+        data: initial data-memory contents, word address -> value.
+        name: human-readable program name (benchmark id).
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data: dict[int, int] = field(default_factory=dict)
+    name: str = "<anonymous>"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def validate(self) -> None:
+        """Validate every instruction and label target.
+
+        Raises:
+            ValueError: on malformed instructions or out-of-range labels.
+        """
+        for index, inst in enumerate(self.instructions):
+            try:
+                validate(inst)
+            except ValueError as exc:
+                raise ValueError(f"at pc {index}: {exc}") from exc
+        for label, target in self.labels.items():
+            if not 0 <= target <= len(self.instructions):
+                raise ValueError(
+                    f"label {label!r} points outside program: {target}"
+                )
+
+    def entry_point(self) -> int:
+        """Index of the first instruction to execute."""
+        return self.labels.get("main", 0)
+
+    def listing(self) -> str:
+        """Return a human-readable disassembly listing."""
+        by_target: dict[int, list[str]] = {}
+        for label, target in self.labels.items():
+            by_target.setdefault(target, []).append(label)
+        lines = []
+        for index, inst in enumerate(self.instructions):
+            for label in by_target.get(index, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {index:5d}  {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Memory hierarchy: L1 I/D, unified L2, memory, and prefetching.
+
+Latency model (Table 1): 4-cycle load-to-use on an L1 hit (the base load
+latency in the ISA tables), 12-cycle L2, 180-cycle memory, with an
+opportunistic unit-stride prefetcher and a coalescing store buffer.
+
+Word addresses are converted to line numbers internally (64-byte L1
+lines of 8-byte words -> 8 words/line; 128-byte L2 lines -> 16
+words/line).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import MemoryCache
+from repro.memory.store_buffer import StoreBuffer
+
+#: Words per L1 line (64-byte lines, 8-byte words).
+L1_LINE_WORDS = 8
+#: Words per L2 line (128-byte lines).
+L2_LINE_WORDS = 16
+
+
+@dataclass
+class HierarchyConfig:
+    """Parameters of the memory hierarchy (defaults from Table 1)."""
+
+    l1d_lines: int = 512       # 32KB / 64B
+    l1d_assoc: int = 2
+    l1i_lines: int = 512
+    l1i_assoc: int = 2
+    l2_lines: int = 8_192      # 1MB / 128B
+    l2_assoc: int = 4
+    l2_latency: int = 12
+    memory_latency: int = 180
+    store_buffer_entries: int = 16
+    prefetch: bool = True
+
+
+class MemoryHierarchy:
+    """Latency oracle for instruction and data accesses.
+
+    The pipeline asks for *extra* cycles beyond the L1-hit latency that
+    is already baked into the load's execute latency; an L1 hit therefore
+    returns 0.
+    """
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1d = MemoryCache(cfg.l1d_lines, cfg.l1d_assoc, "L1D")
+        self.l1i = MemoryCache(cfg.l1i_lines, cfg.l1i_assoc, "L1I")
+        self.l2 = MemoryCache(cfg.l2_lines, cfg.l2_assoc, "L2")
+        self.store_buffer = StoreBuffer(cfg.store_buffer_entries)
+        self._last_addr_by_pc: dict[int, int] = {}
+        self.prefetches = 0
+        self.loads = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int, pc: int, now: int) -> int:
+        """Perform a load of word *addr*; returns extra latency cycles.
+
+        0 = L1 hit (or store-buffer forward); otherwise the L2 or memory
+        penalty. Also trains the stride prefetcher.
+        """
+        self.loads += 1
+        self.store_buffer.drain(now)
+        if self.store_buffer.forward(addr):
+            return 0
+        extra = self._access_data(addr)
+        if self.config.prefetch:
+            self._train_prefetch(pc, addr)
+        return extra
+
+    def store(self, addr: int, now: int) -> bool:
+        """Retire a store of word *addr*; returns False when the store
+        buffer is full (the caller should retry next cycle)."""
+        self.stores += 1
+        self.store_buffer.drain(now)
+        if not self.store_buffer.insert(addr, now):
+            return False
+        # Stores allocate in L1 in the background (write-allocate).
+        self._access_data(addr)
+        return True
+
+    def ifetch(self, fetch_line: int) -> int:
+        """Fetch an instruction-cache line; returns stall cycles."""
+        if self.l1i.access(fetch_line):
+            return 0
+        if self.l2.access(fetch_line + (1 << 30)):
+            return self.config.l2_latency
+        return self.config.memory_latency
+
+    # ------------------------------------------------------------------
+
+    def _access_data(self, addr: int) -> int:
+        l1_line = addr // L1_LINE_WORDS
+        if self.l1d.access(l1_line):
+            return 0
+        l2_line = addr // L2_LINE_WORDS
+        if self.l2.access(l2_line):
+            return self.config.l2_latency
+        return self.config.memory_latency
+
+    def _train_prefetch(self, pc: int, addr: int) -> None:
+        last = self._last_addr_by_pc.get(pc)
+        self._last_addr_by_pc[pc] = addr
+        if last is None:
+            return
+        stride = addr - last
+        if 0 < abs(stride) <= L1_LINE_WORDS:
+            next_line = (addr + stride * L1_LINE_WORDS) // L1_LINE_WORDS
+            if not self.l1d.probe(next_line):
+                self.l1d.fill(next_line)
+                self.l2.fill(addr // L2_LINE_WORDS + 1)
+                self.prefetches += 1
+        if len(self._last_addr_by_pc) > 4096:
+            self._last_addr_by_pc.clear()

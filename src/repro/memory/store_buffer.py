@@ -1,0 +1,66 @@
+"""Coalescing store buffer (Table 1: 16 entries).
+
+Retired stores enter the buffer and drain to the data cache in the
+background. Loads check the buffer for a matching word and forward at L1
+speed. The buffer coalesces repeated stores to the same word, as the
+paper's configuration specifies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class StoreBuffer:
+    """FIFO coalescing store buffer.
+
+    Args:
+        capacity: maximum buffered words (coalesced).
+        drain_interval: cycles between background drains of one entry.
+    """
+
+    def __init__(self, capacity: int = 16, drain_interval: int = 4) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._entries: OrderedDict[int, int] = OrderedDict()
+        self.capacity = capacity
+        self.drain_interval = drain_interval
+        self._last_drain = 0
+        self.coalesced = 0
+        self.inserted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, addr: int, now: int) -> bool:
+        """Buffer a store to word *addr*; returns False when full.
+
+        A full buffer back-pressures retirement in the pipeline (the
+        caller decides how). Stores to an already-buffered word coalesce
+        and always succeed.
+        """
+        if addr in self._entries:
+            self._entries.move_to_end(addr)
+            self.coalesced += 1
+            return True
+        if len(self._entries) >= self.capacity:
+            return False
+        self._entries[addr] = now
+        self.inserted += 1
+        return True
+
+    def forward(self, addr: int) -> bool:
+        """True when a load of *addr* can forward from the buffer."""
+        return addr in self._entries
+
+    def drain(self, now: int) -> list[int]:
+        """Pop entries that have had time to drain; returns addresses."""
+        drained = []
+        while (
+            self._entries
+            and now - self._last_drain >= self.drain_interval
+        ):
+            addr, _ = self._entries.popitem(last=False)
+            drained.append(addr)
+            self._last_drain = now
+        return drained

@@ -1,0 +1,76 @@
+"""Register-cache replacement policies (paper §3.2).
+
+Victim selection operates within one set. The use-based policy selects
+the entry with the fewest remaining uses — usually zero, in which case
+the eviction causes no future miss — falling back to LRU on ties. Pinned
+entries (saturated predicted use) are the last resort.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.regfile.register_cache import CacheEntry
+
+
+class ReplacementPolicy(abc.ABC):
+    """Selects a victim among the valid entries of a full set."""
+
+    name: str
+
+    @abc.abstractmethod
+    def select_victim(self, entries: list["CacheEntry"]) -> int:
+        """Index (within *entries*) of the entry to evict.
+
+        *entries* is non-empty and contains only valid entries.
+        """
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Evict the least-recently-used entry (Yung & Wilhelm)."""
+
+    name = "lru"
+
+    def select_victim(self, entries: list["CacheEntry"]) -> int:
+        return min(range(len(entries)), key=lambda i: entries[i].last_access)
+
+
+class UseBasedReplacement(ReplacementPolicy):
+    """Evict the entry with the fewest remaining uses, tie-break LRU.
+
+    Pinned entries sort above any unpinned entry regardless of count, so
+    they are displaced only when every entry in the set is pinned.
+    """
+
+    name = "use_based"
+
+    def select_victim(self, entries: list["CacheEntry"]) -> int:
+        def key(i: int) -> tuple[int, int, int]:
+            entry = entries[i]
+            return (int(entry.pinned), entry.remaining, entry.last_access)
+
+        return min(range(len(entries)), key=key)
+
+
+#: Registry used by configuration code.
+REPLACEMENT_POLICIES = {
+    "lru": LRUReplacement,
+    "use_based": UseBasedReplacement,
+}
+
+
+def make_replacement_policy(name: str) -> ReplacementPolicy:
+    """Instantiate the named replacement policy.
+
+    Raises:
+        ValueError: for an unknown policy name.
+    """
+    try:
+        return REPLACEMENT_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from "
+            f"{sorted(REPLACEMENT_POLICIES)}"
+        ) from None

@@ -1,0 +1,7 @@
+"""Register renaming: freelist, map table, and the rename stage."""
+
+from repro.rename.freelist import FreeList
+from repro.rename.map_table import Mapping, MapTable
+from repro.rename.renamer import RenamedOp, Renamer
+
+__all__ = ["FreeList", "MapTable", "Mapping", "RenamedOp", "Renamer"]

@@ -1,0 +1,85 @@
+"""Physical register freelist."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import RenameError
+
+
+class FreeList:
+    """Freelist of physical register identifiers.
+
+    Two allocation orders are provided:
+
+    * ``lifo`` (default) — most-recently-freed register first, as a
+      bitmap/stack allocator behaves. Recently freed ids are reused
+      immediately, so physical register numbers cluster temporally and
+      carry no spatial locality — the property that makes *standard*
+      (preg-derived) register-cache indexing conflict-prone and motivates
+      decoupled indexing (paper §4.1).
+    * ``fifo`` — round-robin through the id space, which accidentally
+      approximates decoupled round-robin indexing; useful in tests and
+      for ablations.
+    """
+
+    def __init__(
+        self, num_registers: int, reserved: int = 0, policy: str = "lifo"
+    ) -> None:
+        """Create a freelist of ``num_registers`` physical registers.
+
+        Args:
+            num_registers: total physical registers in the machine.
+            reserved: low register ids excluded from allocation (used by
+                callers that preassign architectural state).
+            policy: ``"lifo"`` or ``"fifo"`` allocation order.
+        """
+        if num_registers <= reserved:
+            raise ValueError("num_registers must exceed reserved")
+        if policy not in ("lifo", "fifo"):
+            raise ValueError(f"unknown freelist policy {policy!r}")
+        self.num_registers = num_registers
+        self.policy = policy
+        self._free: deque[int] = deque(range(reserved, num_registers))
+        self._allocated: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    @property
+    def free_count(self) -> int:
+        """Number of registers currently available."""
+        return len(self._free)
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of registers currently allocated."""
+        return len(self._allocated)
+
+    def allocate(self) -> int:
+        """Pop one free register.
+
+        Raises:
+            RenameError: when the freelist is empty (the caller should
+                have stalled rename instead).
+        """
+        if not self._free:
+            raise RenameError("physical register freelist exhausted")
+        preg = self._free.pop() if self.policy == "lifo" else self._free.popleft()
+        self._allocated.add(preg)
+        return preg
+
+    def release(self, preg: int) -> None:
+        """Return *preg* to the freelist.
+
+        Raises:
+            RenameError: on double-free or freeing an unallocated id.
+        """
+        if preg not in self._allocated:
+            raise RenameError(f"freeing unallocated physical register {preg}")
+        self._allocated.remove(preg)
+        self._free.append(preg)
+
+    def is_allocated(self, preg: int) -> bool:
+        """True while *preg* is checked out."""
+        return preg in self._allocated

@@ -1,0 +1,68 @@
+"""Rename map table with decoupled register-cache indices.
+
+Per the paper (§4.1), decoupled indexing widens the map table: each
+architectural register maps to a physical register *and* the register
+cache set assigned to the value. Consumers obtain both through the
+normal rename process, so the set index needs no extra indirection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RenameError
+from repro.isa.instruction import NUM_ARCH_REGS
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Current mapping of one architectural register.
+
+    Attributes:
+        preg: physical register holding (or about to hold) the value.
+        cache_set: register-cache set assigned at rename, or -1 when the
+            storage scheme does not use decoupled indexing.
+    """
+
+    preg: int
+    cache_set: int = -1
+
+
+class MapTable:
+    """Architectural-to-physical register map with checkpointing."""
+
+    def __init__(self, num_arch_regs: int = NUM_ARCH_REGS) -> None:
+        self.num_arch_regs = num_arch_regs
+        self._map: list[Mapping | None] = [None] * num_arch_regs
+
+    def lookup(self, arch_reg: int) -> Mapping | None:
+        """Current mapping of *arch_reg*, or ``None`` if never written."""
+        if not 0 <= arch_reg < self.num_arch_regs:
+            raise RenameError(f"architectural register {arch_reg} out of range")
+        return self._map[arch_reg]
+
+    def define(self, arch_reg: int, preg: int, cache_set: int = -1) -> Mapping | None:
+        """Install a new mapping; returns the mapping it displaces.
+
+        The displaced mapping's physical register becomes eligible for
+        freeing when the defining instruction retires.
+        """
+        if not 0 <= arch_reg < self.num_arch_regs:
+            raise RenameError(f"architectural register {arch_reg} out of range")
+        previous = self._map[arch_reg]
+        self._map[arch_reg] = Mapping(preg, cache_set)
+        return previous
+
+    def checkpoint(self) -> tuple[Mapping | None, ...]:
+        """Snapshot the full map (for mis-speculation recovery)."""
+        return tuple(self._map)
+
+    def restore(self, snapshot: tuple[Mapping | None, ...]) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint`."""
+        if len(snapshot) != self.num_arch_regs:
+            raise RenameError("snapshot size mismatch")
+        self._map = list(snapshot)
+
+    def live_mappings(self) -> list[Mapping]:
+        """All currently mapped (architecturally visible) values."""
+        return [m for m in self._map if m is not None]

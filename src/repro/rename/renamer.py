@@ -1,0 +1,97 @@
+"""The rename stage: allocation, mapping, and set assignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rename.freelist import FreeList
+from repro.rename.map_table import MapTable
+from repro.vm.trace import DynamicInst
+
+
+@dataclass
+class RenamedOp:
+    """Rename-stage output for one dynamic instruction.
+
+    Attributes:
+        dyn: the dynamic instruction.
+        sources: per-source ``(preg, cache_set)`` pairs; sources whose
+            producing mapping was never defined (reads of preinitialized
+            environment registers) have ``preg == -1`` and are always
+            ready.
+        dest_preg: allocated destination physical register, or -1.
+        dest_set: register-cache set assigned by decoupled indexing, or
+            -1 under standard indexing / non-cache schemes.
+        prev_preg: physical register displaced from the map (freed when
+            this instruction retires), or -1.
+        pred_uses: predicted degree of use, or ``None`` when the
+            predictor had no confident prediction (the *unknown default*
+            applies downstream).
+    """
+
+    dyn: DynamicInst
+    sources: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    dest_preg: int = -1
+    dest_set: int = -1
+    prev_preg: int = -1
+    pred_uses: int | None = None
+
+
+class Renamer:
+    """Performs register renaming over the committed trace.
+
+    Args:
+        freelist: physical register freelist.
+        map_table: architectural map table.
+        assign_set: optional callable ``(pred_uses) -> int`` implementing
+            a decoupled-indexing set-assignment policy; ``None`` leaves
+            set assignment to the register cache (standard indexing).
+    """
+
+    def __init__(
+        self,
+        freelist: FreeList,
+        map_table: MapTable,
+        assign_set=None,
+    ) -> None:
+        self.freelist = freelist
+        self.map_table = map_table
+        self.assign_set = assign_set
+
+    def can_rename(self, dyn: DynamicInst) -> bool:
+        """True when resources exist to rename *dyn* this cycle."""
+        return not dyn.writes_register or self.freelist.free_count > 0
+
+    def rename(self, dyn: DynamicInst, pred_uses: int | None) -> RenamedOp:
+        """Rename *dyn*, allocating a destination register if needed.
+
+        The caller must have checked :meth:`can_rename`; the underlying
+        freelist raises :class:`~repro.errors.RenameError` otherwise.
+        """
+        sources = []
+        for arch_src in dyn.sources:
+            mapping = self.map_table.lookup(arch_src)
+            if mapping is None:
+                sources.append((-1, -1))
+            else:
+                sources.append((mapping.preg, mapping.cache_set))
+
+        dest_preg = -1
+        dest_set = -1
+        prev_preg = -1
+        if dyn.writes_register:
+            dest_preg = self.freelist.allocate()
+            if self.assign_set is not None:
+                dest_set = self.assign_set(pred_uses)
+            displaced = self.map_table.define(dyn.dest, dest_preg, dest_set)
+            if displaced is not None:
+                prev_preg = displaced.preg
+
+        return RenamedOp(
+            dyn=dyn,
+            sources=tuple(sources),
+            dest_preg=dest_preg,
+            dest_set=dest_set,
+            prev_preg=prev_preg,
+            pred_uses=pred_uses,
+        )

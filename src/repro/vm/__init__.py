@@ -1,0 +1,6 @@
+"""Functional execution: VM and dynamic-trace representation."""
+
+from repro.vm.machine import Machine, run_program
+from repro.vm.trace import DynamicInst, Trace
+
+__all__ = ["DynamicInst", "Machine", "Trace", "run_program"]

@@ -1,0 +1,213 @@
+"""Functional virtual machine for the synthetic ISA.
+
+The VM executes a :class:`~repro.isa.program.Program` at architectural
+level and emits the committed dynamic instruction trace consumed by the
+timing model. It plays the role SimpleScalar's functional core plays in
+the paper's infrastructure.
+
+All arithmetic is 64-bit two's complement. Memory is word-addressed
+(a flat ``dict`` of word address -> value) which is sufficient because the
+timing model only needs addresses, not byte-level layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ExecutionError, ExecutionLimitExceeded
+from repro.isa.instruction import NUM_ARCH_REGS, ZERO_REG
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.vm.trace import DynamicInst, Trace
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 64) if value & _SIGN else value
+
+
+class Machine:
+    """Functional interpreter producing a committed dynamic trace.
+
+    Args:
+        program: the program to execute.
+        max_instructions: dynamic instruction budget; exceeding it raises
+            :class:`ExecutionLimitExceeded` (guards against runaway loops
+            in workload generators).
+    """
+
+    def __init__(self, program: Program, max_instructions: int = 5_000_000):
+        program.validate()
+        self.program = program
+        self.max_instructions = max_instructions
+        self.regs = [0] * NUM_ARCH_REGS
+        self.memory: dict[int, int] = dict(program.data)
+        self.pc = program.entry_point()
+        self.halted = False
+        self.output: list[int] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Execute until HALT and return the full committed trace."""
+        return Trace(list(self.step_all()), name=self.program.name)
+
+    def step_all(self) -> Iterator[DynamicInst]:
+        """Yield committed dynamic instructions until the program halts."""
+        while not self.halted:
+            yield self.step()
+
+    def step(self) -> DynamicInst:
+        """Execute one instruction and return its dynamic record.
+
+        Raises:
+            ExecutionError: on an out-of-range pc or illegal operation.
+            ExecutionLimitExceeded: when the instruction budget runs out.
+        """
+        if self.halted:
+            raise ExecutionError("machine is halted")
+        if self._seq >= self.max_instructions:
+            raise ExecutionLimitExceeded(
+                f"{self.program.name}: exceeded budget of "
+                f"{self.max_instructions} instructions"
+            )
+        if not 0 <= self.pc < len(self.program):
+            raise ExecutionError(
+                f"{self.program.name}: pc {self.pc} out of range"
+            )
+        pc = self.pc
+        inst = self.program[pc]
+        op = inst.opcode
+        regs = self.regs
+        src1 = regs[inst.src1] if inst.src1 is not None else 0
+        src2 = regs[inst.src2] if inst.src2 is not None else 0
+
+        next_pc = pc + 1
+        taken = False
+        target = -1
+        mem_addr: int | None = None
+        result: int | None = None
+
+        if op is Opcode.ADD:
+            result = _to_signed(src1 + src2)
+        elif op is Opcode.SUB:
+            result = _to_signed(src1 - src2)
+        elif op is Opcode.AND:
+            result = src1 & src2
+        elif op is Opcode.OR:
+            result = src1 | src2
+        elif op is Opcode.XOR:
+            result = src1 ^ src2
+        elif op is Opcode.SLL:
+            result = _to_signed(src1 << (src2 & 63))
+        elif op is Opcode.SRL:
+            result = (src1 & _MASK) >> (src2 & 63)
+        elif op is Opcode.SRA:
+            result = src1 >> (src2 & 63)
+        elif op is Opcode.SLT:
+            result = int(src1 < src2)
+        elif op is Opcode.SLTU:
+            result = int((src1 & _MASK) < (src2 & _MASK))
+        elif op is Opcode.ADDI:
+            result = _to_signed(src1 + inst.imm)
+        elif op is Opcode.ANDI:
+            result = src1 & inst.imm
+        elif op is Opcode.ORI:
+            result = src1 | inst.imm
+        elif op is Opcode.XORI:
+            result = src1 ^ inst.imm
+        elif op is Opcode.SLLI:
+            result = _to_signed(src1 << (inst.imm & 63))
+        elif op is Opcode.SRLI:
+            result = (src1 & _MASK) >> (inst.imm & 63)
+        elif op is Opcode.SLTI:
+            result = int(src1 < inst.imm)
+        elif op is Opcode.LUI:
+            result = _to_signed(inst.imm << 16)
+        elif op is Opcode.MOV:
+            result = src1
+        elif op is Opcode.MUL:
+            result = _to_signed(src1 * src2)
+        elif op is Opcode.MULH:
+            result = _to_signed((src1 * src2) >> 64)
+        elif op is Opcode.DIV:
+            result = _to_signed(int(src1 / src2)) if src2 else -1
+        elif op is Opcode.REM:
+            result = _to_signed(src1 - src2 * int(src1 / src2)) if src2 else src1
+        elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+            # FP ops are modelled on integer state; only latency matters
+            # to the timing model. Division by zero saturates.
+            if op is Opcode.FADD:
+                result = _to_signed(src1 + src2)
+            elif op is Opcode.FSUB:
+                result = _to_signed(src1 - src2)
+            elif op is Opcode.FMUL:
+                result = _to_signed(src1 * src2)
+            else:
+                result = _to_signed(int(src1 / src2)) if src2 else 0
+        elif op in (Opcode.LW, Opcode.LB):
+            mem_addr = _to_signed(src1 + inst.imm)
+            result = self.memory.get(mem_addr, 0)
+            if op is Opcode.LB:
+                result &= 0xFF
+        elif op in (Opcode.SW, Opcode.SB):
+            mem_addr = _to_signed(src1 + inst.imm)
+            value = src2 & 0xFF if op is Opcode.SB else src2
+            self.memory[mem_addr] = value
+        elif op is Opcode.BEQ:
+            taken = src1 == src2
+        elif op is Opcode.BNE:
+            taken = src1 != src2
+        elif op is Opcode.BLT:
+            taken = src1 < src2
+        elif op is Opcode.BGE:
+            taken = src1 >= src2
+        elif op is Opcode.JAL:
+            result = pc + 1
+            taken = True
+            next_pc = inst.imm
+        elif op is Opcode.JALR:
+            result = pc + 1
+            taken = True
+            next_pc = _to_signed(src1 + inst.imm)
+        elif op is Opcode.RET:
+            taken = True
+            next_pc = src1
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+        elif op is Opcode.OUT:
+            self.output.append(src1)
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        if inst.spec.is_conditional and taken:
+            next_pc = inst.imm
+        if inst.spec.is_branch:
+            target = next_pc
+
+        if inst.dest is not None and inst.dest != ZERO_REG:
+            if result is None:  # pragma: no cover - defensive
+                raise ExecutionError(f"{op} produced no result")
+            regs[inst.dest] = result
+
+        record = DynamicInst(
+            self._seq, pc, inst,
+            taken=taken, target=target, mem_addr=mem_addr,
+            value=result if inst.dest not in (None, ZERO_REG) else None,
+        )
+        self._seq += 1
+        self.pc = next_pc
+        return record
+
+
+def run_program(program: Program, max_instructions: int = 5_000_000) -> Trace:
+    """Convenience wrapper: execute *program* and return its trace."""
+    return Machine(program, max_instructions=max_instructions).run()

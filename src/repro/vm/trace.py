@@ -1,0 +1,142 @@
+"""Dynamic-trace representation produced by the functional VM.
+
+The timing model is trace-driven: it consumes a sequence of
+:class:`DynamicInst` records describing the committed instruction stream,
+including resolved branch outcomes and memory addresses. This mirrors the
+paper's methodology of timing-simulating a known instruction stream while
+modelling the machine's speculation penalties explicitly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+
+
+class DynamicInst:
+    """One committed dynamic instruction.
+
+    Attributes:
+        seq: position in the committed stream (0-based).
+        pc: static instruction index.
+        inst: the static :class:`Instruction`.
+        op_class: functional-unit class (cached from the spec for speed).
+        latency: execute latency in cycles (before memory effects).
+        dest: destination architectural register or ``None`` (writes to
+            the zero register are represented as ``None``).
+        sources: architectural source registers actually read, with reads
+            of the zero register removed.
+        is_branch / is_conditional / is_load / is_store: opcode flags.
+        taken: branch outcome (meaningful only for branches).
+        target: next pc actually followed.
+        mem_addr: word address touched by loads/stores, else ``None``.
+        value: result value written (for validation/debug), else ``None``.
+    """
+
+    __slots__ = (
+        "seq", "pc", "inst", "op_class", "latency", "dest", "sources",
+        "is_branch", "is_conditional", "is_indirect", "is_load", "is_store",
+        "taken", "target", "mem_addr", "value",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        inst: Instruction,
+        *,
+        taken: bool = False,
+        target: int = -1,
+        mem_addr: int | None = None,
+        value: int | None = None,
+    ) -> None:
+        spec = inst.spec
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.op_class = spec.op_class
+        self.latency = spec.latency
+        self.dest = inst.dest if inst.writes_register() else None
+        self.sources = tuple(s for s in inst.sources() if s != 0)
+        self.is_branch = spec.is_branch
+        self.is_conditional = spec.is_conditional
+        self.is_indirect = spec.is_indirect
+        self.is_load = spec.is_load
+        self.is_store = spec.is_store
+        self.taken = taken
+        self.target = target
+        self.mem_addr = mem_addr
+        self.value = value
+
+    @property
+    def writes_register(self) -> bool:
+        """True when this instruction produces a register value."""
+        return self.dest is not None
+
+    def __repr__(self) -> str:
+        return f"DynamicInst(seq={self.seq}, pc={self.pc}, {self.inst})"
+
+
+class Trace:
+    """A materialized committed-instruction trace.
+
+    Thin wrapper over a list of :class:`DynamicInst` that records the
+    program it came from and basic summary statistics.
+    """
+
+    def __init__(self, records: Iterable[DynamicInst], name: str = "") -> None:
+        self.records: list[DynamicInst] = list(records)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DynamicInst]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> DynamicInst:
+        return self.records[index]
+
+    def branch_count(self) -> int:
+        """Number of conditional branches in the trace."""
+        return sum(1 for r in self.records if r.is_conditional)
+
+    def load_count(self) -> int:
+        """Number of loads in the trace."""
+        return sum(1 for r in self.records if r.is_load)
+
+    def store_count(self) -> int:
+        """Number of stores in the trace."""
+        return sum(1 for r in self.records if r.is_store)
+
+    def mix(self) -> dict[OpClass, int]:
+        """Instruction count by functional-unit class."""
+        counts: dict[OpClass, int] = {}
+        for record in self.records:
+            counts[record.op_class] = counts.get(record.op_class, 0) + 1
+        return counts
+
+    def degree_of_use_histogram(self) -> dict[int, int]:
+        """Histogram of the *actual* degree of use of produced values.
+
+        The degree of use of a value is the number of dynamic reads of the
+        defining write before the architectural register is overwritten
+        (or the trace ends). This is the quantity the paper's degree-of-use
+        predictor learns (paper §3.3).
+        """
+        histogram: dict[int, int] = {}
+        live_uses: dict[int, int] = {}
+        for record in self.records:
+            for src in record.sources:
+                if src in live_uses:
+                    live_uses[src] += 1
+            if record.dest is not None:
+                previous = live_uses.pop(record.dest, None)
+                if previous is not None:
+                    histogram[previous] = histogram.get(previous, 0) + 1
+                live_uses[record.dest] = 0
+        for count in live_uses.values():
+            histogram[count] = histogram.get(count, 0) + 1
+        return histogram

@@ -1,0 +1,82 @@
+"""Benchmark suite registry.
+
+Provides named access to the SPECint-like kernels, assembling and
+functionally executing each one to produce the committed trace consumed
+by the timing model. Traces are memoized per ``(name, scale, seed)`` so
+parameter sweeps do not re-execute the VM for every machine
+configuration.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.vm.machine import run_program
+from repro.vm.trace import Trace
+from repro.workloads.kernels import KERNELS
+
+#: Default suite used by the experiment harness (the eight primary
+#: kernels; ``bitpack`` and ``tree_walk`` are extra workloads available
+#: by name via :func:`load_trace`).
+DEFAULT_SUITE = (
+    "pointer_chase", "compress", "hash_dict", "sort",
+    "graph_walk", "interp", "crc", "strmatch",
+)
+
+#: Short suite used by wide parameter sweeps to bound wall-clock time.
+SHORT_SUITE = ("pointer_chase", "compress", "hash_dict", "interp")
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """Names of all available benchmarks."""
+    return tuple(KERNELS)
+
+
+def build_program(name: str, scale: float = 1.0, seed: int | None = None) -> Program:
+    """Assemble the named kernel at the given scale.
+
+    Args:
+        name: a key of :data:`repro.workloads.kernels.KERNELS`.
+        scale: dynamic-instruction-count multiplier (see kernels module).
+        seed: RNG seed for the kernel's data set; ``None`` uses the
+            kernel's default.
+
+    Raises:
+        ReproError: if *name* is not a known benchmark.
+    """
+    builder = KERNELS.get(name)
+    if builder is None:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {', '.join(KERNELS)}"
+        )
+    source = builder(scale) if seed is None else builder(scale, seed)
+    return assemble(source, name=name)
+
+
+@functools.lru_cache(maxsize=128)
+def load_trace(name: str, scale: float = 1.0, seed: int | None = None) -> Trace:
+    """Assemble, execute, and return the committed trace of a benchmark.
+
+    Results are cached; callers must treat the returned trace as
+    immutable.
+    """
+    program = build_program(name, scale=scale, seed=seed)
+    return run_program(program)
+
+
+def load_suite(
+    names: tuple[str, ...] = DEFAULT_SUITE, scale: float = 1.0
+) -> dict[str, Trace]:
+    """Load traces for a set of benchmarks.
+
+    Args:
+        names: benchmark names (defaults to the full suite).
+        scale: instruction-count multiplier applied to each kernel.
+
+    Returns:
+        Mapping of benchmark name to committed trace, in *names* order.
+    """
+    return {name: load_trace(name, scale=scale) for name in names}

@@ -1,0 +1,53 @@
+"""Integration tests: every shipped example runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py", ["0.12"])
+    out = capsys.readouterr().out
+    assert "register cache" in out
+    assert "IPC" in out
+
+
+def test_compare_schemes_runs(capsys):
+    run_example("compare_schemes.py", ["32", "0.12"])
+    out = capsys.readouterr().out
+    assert "use-based cache" in out
+    assert "monolithic RF, 3 cycles" in out
+
+
+def test_lifetime_analysis_runs(capsys):
+    run_example("lifetime_analysis.py", ["0.12"])
+    out = capsys.readouterr().out
+    assert "allocated" in out and "live" in out
+
+
+def test_custom_workload_runs(capsys):
+    run_example("custom_workload.py", [])
+    out = capsys.readouterr().out
+    assert "dot_product" in out
+    assert "synthetic" in out
+
+
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in EXAMPLES.glob("*.py"))
+)
+def test_every_example_has_docstring(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.lstrip().startswith(('"""', "#!"))

@@ -1,0 +1,83 @@
+"""Integration tests for the public simulation API."""
+
+import pytest
+
+from repro import (
+    DEFAULT_SUITE,
+    MachineConfig,
+    SHORT_SUITE,
+    Trace,
+    assemble,
+    load_trace,
+    mean_ipc,
+    run_program,
+    simulate,
+    simulate_benchmark,
+    simulate_suite,
+    use_based_config,
+)
+
+
+def test_simulate_default_config():
+    trace = run_program(assemble("""
+        addi r1, r0, 10
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    """))
+    stats = simulate(trace)
+    assert stats.retired == len(trace)
+    assert stats.cache is not None
+
+
+def test_simulate_benchmark_by_name():
+    stats = simulate_benchmark("crc", scale=0.12)
+    assert stats.benchmark == "crc"
+    assert stats.ipc > 0
+
+
+def test_simulate_suite_returns_all():
+    results = simulate_suite(names=("crc", "strmatch"), scale=0.12)
+    assert set(results) == {"crc", "strmatch"}
+    assert mean_ipc(results) > 0
+
+
+def test_suite_constants():
+    assert set(SHORT_SUITE) <= set(DEFAULT_SUITE)
+    assert len(DEFAULT_SUITE) == 8
+
+
+def test_load_trace_cached():
+    a = load_trace("crc", scale=0.12)
+    b = load_trace("crc", scale=0.12)
+    assert a is b
+    assert isinstance(a, Trace)
+
+
+def test_same_trace_same_config_is_deterministic():
+    trace = load_trace("strmatch", scale=0.12)
+    first = simulate(trace, MachineConfig())
+    second = simulate(trace, MachineConfig())
+    assert first.cycles == second.cycles
+    assert first.cache.miss_count == second.cache.miss_count
+    assert first.branch_mispredicts == second.branch_mispredicts
+
+
+def test_config_changes_change_results():
+    trace = load_trace("compress", scale=0.12)
+    small = simulate(trace, use_based_config(cache_entries=8))
+    large = simulate(trace, use_based_config(cache_entries=128))
+    assert small.cache.miss_count >= large.cache.miss_count
+
+
+def test_memoryless_mode_runs():
+    trace = load_trace("crc", scale=0.12)
+    stats = simulate(trace, MachineConfig(model_memory=False))
+    assert stats.retired == len(trace)
+
+
+def test_invalid_benchmark_raises():
+    from repro.errors import ReproError
+    with pytest.raises(ReproError):
+        simulate_benchmark("missing")

@@ -1,0 +1,40 @@
+"""Property-based tests for the freelist."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rename.freelist import FreeList
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    actions=st.lists(st.booleans(), min_size=1, max_size=300),
+    policy=st.sampled_from(["lifo", "fifo"]),
+    size=st.integers(min_value=1, max_value=32),
+)
+def test_freelist_conservation(actions, policy, size):
+    """allocate/release sequences conserve the register population and
+    never hand out an allocated register twice."""
+    freelist = FreeList(size, policy=policy)
+    held: list[int] = []
+    for allocate in actions:
+        if allocate and freelist.free_count:
+            preg = freelist.allocate()
+            assert preg not in held
+            held.append(preg)
+        elif held:
+            freelist.release(held.pop())
+        assert freelist.free_count + freelist.allocated_count == size
+        assert len(held) == freelist.allocated_count
+    # Full drain restores everything.
+    while held:
+        freelist.release(held.pop())
+    assert freelist.free_count == size
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(min_value=2, max_value=64))
+def test_all_registers_reachable(size):
+    freelist = FreeList(size)
+    pregs = {freelist.allocate() for _ in range(size)}
+    assert pregs == set(range(size))

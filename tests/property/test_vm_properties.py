@@ -1,0 +1,93 @@
+"""Property-based tests for the VM and trace layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import use_based_config
+from repro.core.pipeline import Pipeline
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.vm.machine import Machine
+
+ALU_OPS = [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+           Opcode.SLT, Opcode.MUL]
+
+
+@st.composite
+def straight_line_programs(draw):
+    """Random straight-line ALU/memory programs ending in HALT."""
+    length = draw(st.integers(min_value=1, max_value=60))
+    instructions = []
+    for _ in range(length):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        dest = draw(st.integers(min_value=1, max_value=15))
+        src1 = draw(st.integers(min_value=0, max_value=15))
+        src2 = draw(st.integers(min_value=0, max_value=15))
+        imm = draw(st.integers(min_value=-64, max_value=64))
+        if kind == 0:
+            op = draw(st.sampled_from(ALU_OPS))
+            instructions.append(
+                Instruction(op, dest=dest, src1=src1, src2=src2)
+            )
+        elif kind == 1:
+            instructions.append(
+                Instruction(Opcode.ADDI, dest=dest, src1=src1, imm=imm)
+            )
+        elif kind == 2:
+            instructions.append(
+                Instruction(Opcode.LW, dest=dest, src1=src1,
+                            imm=abs(imm) + 1000)
+            )
+        else:
+            instructions.append(
+                Instruction(Opcode.SW, src1=src1, src2=src2,
+                            imm=abs(imm) + 1000)
+            )
+    instructions.append(Instruction(Opcode.HALT))
+    return Program(instructions=instructions, name="random")
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=straight_line_programs())
+def test_vm_executes_random_programs(program):
+    machine = Machine(program, max_instructions=1_000)
+    trace = machine.run()
+    assert len(trace) == len(program.instructions)
+    assert machine.halted
+    # Zero register never corrupted.
+    assert machine.regs[0] == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=straight_line_programs())
+def test_trace_dataflow_is_consistent(program):
+    trace = Machine(program).run()
+    for record in trace:
+        for src in record.sources:
+            assert 0 < src < 64
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=straight_line_programs())
+def test_pipeline_retires_random_traces(program):
+    """The timing model completes any well-formed straight-line trace
+    and respects basic accounting identities."""
+    trace = Machine(program).run()
+    config = use_based_config(model_memory=False, model_icache=False)
+    stats = Pipeline(trace, config).run()
+    assert stats.retired == len(trace)
+    assert stats.cycles >= (len(trace) - 1) // 8
+    cache = stats.cache
+    assert cache.hits + cache.miss_count == cache.reads
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=straight_line_programs())
+def test_pipeline_deterministic(program):
+    trace = Machine(program).run()
+    config = use_based_config(model_memory=False)
+    a = Pipeline(trace, config).run()
+    b = Pipeline(trace, config).run()
+    assert a.cycles == b.cycles
+    assert a.cache.miss_count == b.cache.miss_count

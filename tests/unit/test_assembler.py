@@ -1,0 +1,170 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instruction import LINK_REG
+from repro.isa.opcodes import Opcode
+
+
+def test_three_register_alu():
+    program = assemble("add r3, r1, r2\nhalt")
+    inst = program[0]
+    assert inst.opcode is Opcode.ADD
+    assert (inst.dest, inst.src1, inst.src2) == (3, 1, 2)
+
+
+def test_immediate_alu():
+    program = assemble("addi r3, r1, -42\nhalt")
+    inst = program[0]
+    assert inst.opcode is Opcode.ADDI
+    assert inst.imm == -42
+
+
+def test_hex_immediate():
+    program = assemble("andi r3, r1, 0xff\nhalt")
+    assert program[0].imm == 255
+
+
+def test_load_syntax():
+    program = assemble("lw r5, 8(r2)\nhalt")
+    inst = program[0]
+    assert inst.opcode is Opcode.LW
+    assert inst.dest == 5 and inst.src1 == 2 and inst.imm == 8
+
+
+def test_store_syntax():
+    program = assemble("sw r5, -4(r2)\nhalt")
+    inst = program[0]
+    assert inst.opcode is Opcode.SW
+    # Store: src1 = base, src2 = data.
+    assert inst.src1 == 2 and inst.src2 == 5 and inst.imm == -4
+    assert inst.dest is None
+
+
+def test_branch_to_label():
+    program = assemble("""
+    loop:
+        addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    """)
+    branch = program[1]
+    assert branch.opcode is Opcode.BNE
+    assert branch.imm == program.labels["loop"] == 0
+
+
+def test_forward_label_reference():
+    program = assemble("""
+        beq r0, r0, end
+        nop
+    end:
+        halt
+    """)
+    assert program[0].imm == 2
+
+
+def test_label_on_same_line_as_instruction():
+    program = assemble("start: addi r1, r0, 1\nhalt")
+    assert program.labels["start"] == 0
+
+
+def test_jal_implicit_link_register():
+    program = assemble("""
+        jal func
+        halt
+    func:
+        ret
+    """)
+    assert program[0].dest == LINK_REG
+    assert program[0].imm == 2
+
+
+def test_ret_defaults_to_link_register():
+    program = assemble("ret\nhalt")
+    assert program[0].src1 == LINK_REG
+
+
+def test_jalr_single_operand():
+    program = assemble("jalr r9\nhalt")
+    inst = program[0]
+    assert inst.dest == LINK_REG and inst.src1 == 9
+
+
+def test_label_as_addi_immediate():
+    program = assemble("""
+        addi r5, r0, target
+        halt
+    target:
+        nop
+        halt
+    """)
+    assert program[0].imm == program.labels["target"]
+
+
+def test_data_section():
+    program = assemble(".data 100: 1 2 0x10\nhalt")
+    assert program.data == {100: 1, 101: 2, 102: 16}
+
+
+def test_comments_ignored():
+    program = assemble("# a comment\nadd r3, r1, r2  # trailing\nhalt")
+    assert len(program) == 2
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError, match="duplicate"):
+        assemble("x:\nnop\nx:\nhalt")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblyError, match="undefined"):
+        assemble("beq r0, r0, nowhere\nhalt")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError, match="unknown mnemonic"):
+        assemble("frobnicate r1, r2\nhalt")
+
+
+def test_bad_register_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("add r3, rx, r2\nhalt")
+
+
+def test_bad_operand_count_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("add r3, r1\nhalt")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblyError, match="memory operand"):
+        assemble("lw r3, r2\nhalt")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblyError, match="line 3"):
+        assemble("nop\nnop\nbogus\nhalt")
+
+
+def test_register_out_of_range_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("add r99, r1, r2\nhalt")
+
+
+def test_mov_two_operands():
+    program = assemble("mov r4, r7\nhalt")
+    inst = program[0]
+    assert inst.opcode is Opcode.MOV
+    assert inst.dest == 4 and inst.src1 == 7
+
+
+def test_lui():
+    program = assemble("lui r4, 0x12\nhalt")
+    assert program[0].imm == 0x12
+
+
+def test_program_name_recorded():
+    program = assemble("halt", name="bench")
+    assert program.name == "bench"

@@ -1,0 +1,66 @@
+"""Unit tests for the return address stack and indirect predictor."""
+
+from repro.frontend.btb import IndirectPredictor, ReturnAddressStack
+
+
+def test_ras_push_pop_lifo():
+    ras = ReturnAddressStack(depth=4)
+    ras.push(10)
+    ras.push(20)
+    assert ras.pop() == 20
+    assert ras.pop() == 10
+
+
+def test_ras_empty_pop_returns_none():
+    ras = ReturnAddressStack()
+    assert ras.pop() is None
+
+
+def test_ras_overflow_drops_oldest():
+    ras = ReturnAddressStack(depth=2)
+    ras.push(1)
+    ras.push(2)
+    ras.push(3)
+    assert len(ras) == 2
+    assert ras.pop() == 3
+    assert ras.pop() == 2
+    assert ras.pop() is None
+
+
+def test_indirect_cold_predicts_none():
+    predictor = IndirectPredictor()
+    assert predictor.predict(50) is None
+
+
+def test_indirect_learns_stable_target():
+    predictor = IndirectPredictor()
+    for _ in range(5):
+        predictor.update(50, 123)
+    assert predictor.predict(50) == 123
+
+
+def test_indirect_adapts_to_new_target():
+    predictor = IndirectPredictor()
+    predictor.update(50, 100)
+    for _ in range(8):
+        predictor.update(50, 200)
+    assert predictor.predict(50) == 200
+
+
+def test_indirect_path_correlation():
+    """With path history, a dispatch-loop jump alternating between two
+    targets in a fixed sequence becomes predictable."""
+    predictor = IndirectPredictor(history_bits=6)
+    sequence = [111, 222, 111, 222] * 100
+    for target in sequence:
+        predictor.update(77, target)
+    # Accuracy tracked internally; the tail should be well predicted.
+    assert predictor.accuracy > 0.6
+
+
+def test_indirect_accuracy_counts():
+    predictor = IndirectPredictor()
+    for _ in range(10):
+        predictor.update(5, 42)
+    assert predictor.lookups == 10
+    assert predictor.correct >= 8

@@ -1,0 +1,92 @@
+"""Unit tests for ASCII charts and the pipeline debug viewer."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_chart
+from repro.core.config import use_based_config
+from repro.core.debug import dependence_report, render_timeline
+from repro.core.pipeline import Pipeline
+from repro.isa.assembler import assemble
+from repro.vm.machine import run_program
+
+
+def test_line_chart_contains_markers_and_legend():
+    text = line_chart(
+        {"a": [(0, 1.0), (1, 2.0)], "b": [(0, 2.0), (1, 1.0)]},
+        title="T",
+    )
+    assert "T" in text
+    assert "*" in text and "o" in text
+    assert "*=a" in text and "o=b" in text
+
+
+def test_line_chart_axis_labels():
+    text = line_chart({"s": [(10, 0.5), (20, 1.5)]})
+    assert "10" in text and "20" in text
+    assert "0.5" in text and "1.5" in text
+
+
+def test_line_chart_flat_series():
+    text = line_chart({"s": [(0, 1.0), (5, 1.0)]})
+    assert "*" in text  # degenerate y-span must not divide by zero
+
+
+def test_line_chart_empty():
+    assert "(no data)" in line_chart({}, title="x")
+
+
+def test_bar_chart_scales_bars():
+    text = bar_chart({"big": 1.0, "small": 0.5})
+    lines = text.splitlines()
+    big = next(line for line in lines if line.startswith("big"))
+    small = next(line for line in lines if line.startswith("small"))
+    assert big.count("#") > small.count("#")
+
+
+def test_bar_chart_empty():
+    assert "(no data)" in bar_chart({})
+
+
+@pytest.fixture
+def timed_run():
+    trace = run_program(assemble("""
+        addi r1, r0, 1
+        addi r2, r1, 1
+        mul  r3, r2, r2
+        halt
+    """))
+    config = use_based_config(
+        record_timing=True, model_memory=False, predictor_enabled=False,
+    )
+    pipeline = Pipeline(trace, config)
+    pipeline.run()
+    return pipeline
+
+
+def test_render_timeline_shows_stages(timed_run):
+    text = render_timeline(timed_run, first_seq=0, count=4)
+    assert "I" in text and "E" in text
+    assert "addi" in text and "mul" in text
+
+
+def test_render_timeline_requires_recording():
+    trace = run_program(assemble("halt"))
+    pipeline = Pipeline(trace, use_based_config(model_memory=False))
+    pipeline.run()
+    with pytest.raises(ValueError, match="record_timing"):
+        render_timeline(pipeline)
+
+
+def test_render_timeline_empty_window(timed_run):
+    assert "no instructions" in render_timeline(
+        timed_run, first_seq=1000, count=5
+    )
+
+
+def test_dependence_report(timed_run):
+    text = dependence_report(timed_run, 2)
+    assert "mul" in text and "issued@" in text
+
+
+def test_dependence_report_missing(timed_run):
+    assert "never issued" in dependence_report(timed_run, 99)

@@ -1,0 +1,143 @@
+"""Unit tests for the trace-driven front end."""
+
+from repro.frontend.fetch import FrontEnd
+from repro.isa.assembler import assemble
+from repro.vm.machine import run_program
+
+
+def make_frontend(source, **kwargs):
+    trace = run_program(assemble(source))
+    return FrontEnd(trace, **kwargs), trace
+
+
+def drain(frontend, start=0, limit=10_000):
+    """Pull everything, returning (dyn, dispatch_cycle) pairs."""
+    out = []
+    now = start
+    while not frontend.exhausted():
+        for fetched in frontend.pull(now, 16):
+            out.append((fetched, now))
+        now += 1
+        if now > limit:
+            raise AssertionError("front end did not drain")
+    return out
+
+
+def test_straight_line_respects_front_depth():
+    frontend, trace = make_frontend("nop\nnop\nhalt", front_depth=11)
+    items = drain(frontend)
+    assert len(items) == len(trace)
+    first_fetched, cycle = items[0]
+    assert cycle == 11  # fetched at 0, available after the front depth
+
+
+def test_fetch_width_limits_per_cycle():
+    source = "\n".join(["nop"] * 20) + "\nhalt"
+    frontend, _ = make_frontend(source, fetch_width=8, front_depth=0,
+                                icache=None)
+    items = drain(frontend)
+    by_cycle = {}
+    for fetched, cycle in items:
+        by_cycle.setdefault(cycle, 0)
+        by_cycle[cycle] += 1
+    assert max(by_cycle.values()) <= 8
+
+
+def test_taken_branch_ends_fetch_block():
+    frontend, _ = make_frontend("""
+        beq r0, r0, target
+    target:
+        nop
+        halt
+    """, front_depth=0)
+    items = drain(frontend)
+    # The always-taken branch is fetched alone in its block; the next
+    # instruction comes at least one cycle later.
+    assert items[1][1] > items[0][1]
+
+
+def test_mispredict_stalls_fetch_until_resume():
+    # A data-dependent branch direction the predictor cannot know cold:
+    # first encounter of a taken branch (bimodal initializes weakly
+    # taken, so use a not-taken... train with an alternating pattern is
+    # complex; instead check the mispredicted flag wiring directly).
+    frontend, trace = make_frontend("""
+        addi r1, r0, 1
+        beq r1, r0, skip    # not taken; cold YAGS predicts taken -> wrong?
+        nop
+    skip:
+        halt
+    """, front_depth=0)
+    # Walk manually: pull until we see a mispredicted branch.
+    now = 0
+    saw_mispredict = False
+    pulled = []
+    while not frontend.exhausted() and now < 1000:
+        for fetched in frontend.pull(now, 16):
+            pulled.append(fetched)
+            if fetched.mispredicted:
+                saw_mispredict = True
+                stall_cycle = now
+                frontend.resume(now + 5)
+        now += 1
+    if saw_mispredict:
+        assert frontend.mispredicts >= 1
+    # All instructions must eventually be delivered exactly once.
+    assert len(pulled) == len(trace)
+
+
+def test_resume_restarts_fetch_after_cycle():
+    frontend, trace = make_frontend("""
+        addi r1, r0, 1
+    loop:
+        addi r1, r1, 1
+        addi r2, r1, 0
+        beq r1, r2, end     # always taken; cold predictor may miss
+    end:
+        halt
+    """, front_depth=0)
+    now = 0
+    delivered = 0
+    while not frontend.exhausted() and now < 1000:
+        for fetched in frontend.pull(now, 16):
+            delivered += 1
+            if fetched.mispredicted:
+                frontend.resume(now + 3)
+        now += 1
+    assert delivered == len(trace)
+
+
+def test_peek_does_not_consume():
+    frontend, _ = make_frontend("nop\nhalt", front_depth=0)
+    first = frontend.peek(0)
+    assert first is not None
+    again = frontend.peek(0)
+    assert again is first
+    pulled = frontend.pull(0, 1)
+    assert pulled[0] is first
+
+
+def test_pull_respects_max_count():
+    source = "\n".join(["nop"] * 8) + "\nhalt"
+    frontend, _ = make_frontend(source, front_depth=0)
+    got = frontend.pull(5, 3)
+    assert len(got) <= 3
+
+
+def test_icache_miss_stalls_fetch():
+    class StallingICache:
+        def __init__(self):
+            self.calls = 0
+
+        def access(self, line):
+            self.calls += 1
+            return 12 if self.calls == 1 else 0
+
+    source = "\n".join(["nop"] * 4) + "\nhalt"
+    icache = StallingICache()
+    trace = run_program(assemble(source))
+    frontend = FrontEnd(trace, front_depth=0, icache=icache)
+    items = drain(frontend)
+    # First instruction delayed by the 12-cycle icache miss.
+    assert items[0][1] >= 12
+    assert icache.calls >= 1

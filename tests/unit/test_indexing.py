@@ -1,0 +1,115 @@
+"""Unit tests for register-cache set-assignment policies."""
+
+import pytest
+
+from repro.regfile.indexing import (
+    FilteredRoundRobinIndexing,
+    MinimumIndexing,
+    RoundRobinIndexing,
+    StandardIndexing,
+    make_index_policy,
+)
+
+
+def test_standard_derives_from_preg():
+    policy = StandardIndexing(8)
+    assert not policy.decoupled
+    assert policy.assign(3) == -1
+    assert policy.set_for(17, -1) == 1
+    assert policy.set_for(24, -1) == 0
+
+
+def test_round_robin_cycles():
+    policy = RoundRobinIndexing(3)
+    assert [policy.assign(1) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_decoupled_set_for_uses_assignment():
+    policy = RoundRobinIndexing(4)
+    assigned = policy.assign(1)
+    assert policy.set_for(999, assigned) == assigned
+
+
+def test_minimum_picks_least_loaded():
+    policy = MinimumIndexing(3)
+    a = policy.assign(5)   # set 0, sum 5
+    b = policy.assign(2)   # set 1, sum 2
+    c = policy.assign(1)   # set 2, sum 1
+    assert {a, b, c} == {0, 1, 2}
+    # Next assignment goes to the set with the smallest sum (set 2).
+    assert policy.assign(1) == c
+
+
+def test_minimum_release_decrements():
+    policy = MinimumIndexing(2)
+    s = policy.assign(10)
+    policy.assign(1)
+    policy.release(s, 10)
+    # Set s now has sum 0 again and is picked next.
+    assert policy.assign(1) == s
+
+
+def test_minimum_release_clamps_at_zero():
+    policy = MinimumIndexing(2)
+    policy.release(0, 100)
+    assert policy._sums[0] == 0
+
+
+def test_filtered_rr_skips_crowded_sets():
+    policy = FilteredRoundRobinIndexing(
+        4, assoc=2, high_use_threshold=5, skip_threshold=1
+    )
+    crowded = policy.assign(9)  # high-use value -> its set becomes crowded
+    following = [policy.assign(1) for _ in range(6)]
+    assert crowded not in following
+
+
+def test_filtered_rr_release_uncrowds():
+    policy = FilteredRoundRobinIndexing(
+        2, assoc=2, high_use_threshold=5, skip_threshold=1
+    )
+    crowded = policy.assign(9)
+    policy.release(crowded, 9)
+    # After release the set re-enters the rotation.
+    assigned = {policy.assign(1) for _ in range(4)}
+    assert crowded in assigned
+
+
+def test_filtered_rr_falls_back_when_all_crowded():
+    policy = FilteredRoundRobinIndexing(
+        2, assoc=2, high_use_threshold=5, skip_threshold=1
+    )
+    policy.assign(9)
+    policy.assign(9)
+    # Both sets crowded: assignment still succeeds.
+    assert policy.assign(9) in (0, 1)
+
+
+def test_filtered_rr_low_use_values_do_not_crowd():
+    policy = FilteredRoundRobinIndexing(
+        2, assoc=2, high_use_threshold=5, skip_threshold=1
+    )
+    for _ in range(10):
+        policy.assign(1)
+    assert policy._high_counts == [0, 0]
+
+
+def test_make_index_policy_registry():
+    assert isinstance(make_index_policy("preg", 4, 2), StandardIndexing)
+    assert isinstance(
+        make_index_policy("round_robin", 4, 2), RoundRobinIndexing
+    )
+    assert isinstance(make_index_policy("minimum", 4, 2), MinimumIndexing)
+    filtered = make_index_policy("filtered_rr", 4, 4)
+    assert isinstance(filtered, FilteredRoundRobinIndexing)
+    assert filtered.skip_threshold == 2  # half the associativity
+
+
+def test_make_index_policy_unknown():
+    with pytest.raises(ValueError, match="unknown index policy"):
+        make_index_policy("hash", 4, 2)
+
+
+def test_zero_sets_rejected():
+    with pytest.raises(ValueError):
+        RoundRobinIndexing(0)

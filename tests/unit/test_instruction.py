@@ -1,0 +1,88 @@
+"""Unit tests for the static instruction representation."""
+
+import pytest
+
+from repro.isa.instruction import (
+    NUM_ARCH_REGS,
+    ZERO_REG,
+    Instruction,
+    validate,
+)
+from repro.isa.opcodes import Opcode
+
+
+def test_sources_includes_both():
+    inst = Instruction(Opcode.ADD, dest=3, src1=1, src2=2)
+    assert inst.sources() == (1, 2)
+
+
+def test_sources_single():
+    inst = Instruction(Opcode.ADDI, dest=3, src1=1, imm=5)
+    assert inst.sources() == (1,)
+
+
+def test_sources_includes_zero_reads():
+    inst = Instruction(Opcode.ADD, dest=3, src1=0, src2=2)
+    assert inst.sources() == (0, 2)
+
+
+def test_writes_register_true():
+    assert Instruction(Opcode.ADDI, dest=3, src1=0, imm=1).writes_register()
+
+
+def test_zero_dest_does_not_write():
+    inst = Instruction(Opcode.ADDI, dest=ZERO_REG, src1=0, imm=1)
+    assert not inst.writes_register()
+
+
+def test_no_dest_does_not_write():
+    inst = Instruction(Opcode.SW, src1=1, src2=2, imm=0)
+    assert not inst.writes_register()
+
+
+def test_str_contains_mnemonic_and_registers():
+    inst = Instruction(Opcode.ADD, dest=3, src1=1, src2=2)
+    text = str(inst)
+    assert "add" in text
+    assert "r3" in text and "r1" in text and "r2" in text
+
+
+def test_validate_accepts_well_formed():
+    validate(Instruction(Opcode.ADD, dest=3, src1=1, src2=2))
+    validate(Instruction(Opcode.HALT))
+    validate(Instruction(Opcode.BEQ, src1=1, src2=2, imm=7))
+
+
+def test_validate_rejects_missing_source():
+    with pytest.raises(ValueError, match="sources"):
+        validate(Instruction(Opcode.ADD, dest=3, src1=1))
+
+
+def test_validate_rejects_unexpected_dest():
+    with pytest.raises(ValueError, match="destination"):
+        validate(Instruction(Opcode.HALT, dest=1))
+
+
+def test_validate_rejects_missing_dest():
+    with pytest.raises(ValueError, match="destination"):
+        validate(Instruction(Opcode.ADD, src1=1, src2=2))
+
+
+def test_validate_rejects_out_of_range_register():
+    with pytest.raises(ValueError, match="out of range"):
+        validate(
+            Instruction(Opcode.ADD, dest=NUM_ARCH_REGS, src1=1, src2=2)
+        )
+
+
+def test_instructions_are_hashable_and_comparable():
+    a = Instruction(Opcode.ADD, dest=3, src1=1, src2=2)
+    b = Instruction(Opcode.ADD, dest=3, src1=1, src2=2)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_label_excluded_from_equality():
+    a = Instruction(Opcode.NOP, label="x")
+    b = Instruction(Opcode.NOP, label="y")
+    assert a == b

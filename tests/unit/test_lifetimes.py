@@ -1,0 +1,102 @@
+"""Unit tests for lifetime analysis (Figures 1 and 2 machinery)."""
+
+import pytest
+
+from repro.core.lifetimes import (
+    allocated_cdf,
+    live_cdf,
+    mean_phase_summary,
+    occupancy_cdf,
+    phase_summary,
+)
+from repro.core.stats import LifetimeRecord
+
+
+def rec(alloc, write, last_read, free):
+    return LifetimeRecord(alloc, write, last_read, free)
+
+
+def test_record_phase_lengths():
+    record = rec(0, 5, 9, 20)
+    assert record.empty_time == 5
+    assert record.live_time == 4
+    assert record.dead_time == 11
+
+
+def test_record_phases_never_negative():
+    record = rec(10, 5, 3, 1)
+    assert record.empty_time == 0
+    assert record.live_time == 0
+    assert record.dead_time == 0
+
+
+def test_phase_summary_medians():
+    records = [rec(0, 1, 2, 10), rec(0, 3, 6, 10), rec(0, 5, 10, 30)]
+    summary = phase_summary(records)
+    assert summary.empty == 3
+    assert summary.live == 3
+    assert summary.dead == 8
+
+
+def test_phase_summary_empty_input():
+    summary = phase_summary([])
+    assert summary.total == 0
+
+
+def test_mean_phase_summary():
+    a = phase_summary([rec(0, 2, 4, 10)])
+    b = phase_summary([rec(0, 4, 8, 10)])
+    mean = mean_phase_summary([a, b])
+    assert mean.empty == 3
+    assert mean.live == 3
+
+
+def test_occupancy_cdf_single_interval():
+    cdf = occupancy_cdf([(0, 10)])
+    assert cdf.levels == (1,)
+    assert cdf.cumulative == (1.0,)
+    assert cdf.median == 1
+
+
+def test_occupancy_cdf_overlapping_intervals():
+    # Two intervals overlap for half the time: levels 1 and 2 each for
+    # half of the occupied span.
+    cdf = occupancy_cdf([(0, 10), (5, 15)])
+    assert cdf.levels == (1, 2)
+    assert cdf.cumulative[0] == pytest.approx(10 / 15)
+    assert cdf.percentile(0.9) == 2
+
+
+def test_occupancy_cdf_gap_counts_zero_level():
+    cdf = occupancy_cdf([(0, 5), (10, 15)])
+    assert 0 in cdf.levels
+
+
+def test_occupancy_cdf_empty():
+    cdf = occupancy_cdf([])
+    assert cdf.percentile(0.9) == 0
+
+
+def test_occupancy_cdf_ignores_empty_intervals():
+    cdf = occupancy_cdf([(5, 5), (3, 2)])
+    assert cdf.percentile(0.5) == 0
+
+
+def test_allocated_exceeds_live():
+    records = [rec(0, 10, 12, 40), rec(5, 20, 22, 45)]
+    alloc = allocated_cdf(records)
+    live = live_cdf(records)
+    # Allocation spans dominate live spans.
+    assert alloc.percentile(0.9) >= live.percentile(0.9)
+
+
+def test_live_cdf_skips_never_read():
+    records = [rec(0, 10, 10, 40)]  # never read: zero live span
+    cdf = live_cdf(records)
+    assert cdf.percentile(0.99) == 0
+
+
+def test_percentile_monotone():
+    cdf = occupancy_cdf([(0, 10), (2, 8), (4, 6)])
+    values = [cdf.percentile(f) for f in (0.1, 0.5, 0.9, 1.0)]
+    assert values == sorted(values)

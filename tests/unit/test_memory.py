@@ -1,0 +1,165 @@
+"""Unit tests for the memory hierarchy."""
+
+import pytest
+
+from repro.memory.cache import MemoryCache
+from repro.memory.hierarchy import (
+    L1_LINE_WORDS,
+    HierarchyConfig,
+    MemoryHierarchy,
+)
+from repro.memory.store_buffer import StoreBuffer
+
+
+# ----------------------------------------------------------------------
+# MemoryCache
+
+
+def test_cache_miss_then_hit():
+    cache = MemoryCache(4, 2)
+    assert not cache.access(10)
+    assert cache.access(10)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_lru_eviction():
+    cache = MemoryCache(2, 2)  # one set, two ways
+    cache.access(0)
+    cache.access(2)
+    cache.access(0)      # refresh 0
+    cache.access(4)      # evicts 2 (LRU)
+    assert cache.probe(0)
+    assert not cache.probe(2)
+
+
+def test_cache_probe_does_not_fill():
+    cache = MemoryCache(4, 2)
+    assert not cache.probe(7)
+    assert not cache.probe(7)
+    assert cache.misses == 0  # probe is side-effect free
+
+
+def test_cache_fill_returns_victim():
+    cache = MemoryCache(2, 2)
+    assert cache.fill(1) is None
+    assert cache.fill(3) is None
+    assert cache.fill(5) == 1
+
+
+def test_cache_sets_isolated():
+    cache = MemoryCache(4, 1)  # 4 direct-mapped sets
+    cache.access(0)
+    cache.access(1)
+    assert cache.probe(0) and cache.probe(1)
+
+
+def test_cache_miss_rate():
+    cache = MemoryCache(4, 2)
+    cache.access(1)
+    cache.access(1)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+def test_cache_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        MemoryCache(5, 2)
+    with pytest.raises(ValueError):
+        MemoryCache(0, 1)
+
+
+# ----------------------------------------------------------------------
+# StoreBuffer
+
+
+def test_store_buffer_insert_and_forward():
+    buffer = StoreBuffer(capacity=2)
+    assert buffer.insert(100, now=0)
+    assert buffer.forward(100)
+    assert not buffer.forward(200)
+
+
+def test_store_buffer_coalesces():
+    buffer = StoreBuffer(capacity=1)
+    buffer.insert(100, now=0)
+    assert buffer.insert(100, now=1)  # coalesces, still succeeds
+    assert buffer.coalesced == 1
+    assert len(buffer) == 1
+
+
+def test_store_buffer_full_rejects():
+    buffer = StoreBuffer(capacity=1)
+    buffer.insert(100, now=0)
+    assert not buffer.insert(200, now=0)
+
+
+def test_store_buffer_drains_over_time():
+    buffer = StoreBuffer(capacity=2, drain_interval=4)
+    buffer.insert(100, now=0)
+    buffer.insert(200, now=1)
+    drained = buffer.drain(now=10)
+    assert 100 in drained
+    assert not buffer.forward(100)
+
+
+# ----------------------------------------------------------------------
+# MemoryHierarchy
+
+
+def test_l1_hit_costs_nothing_extra():
+    hierarchy = MemoryHierarchy(HierarchyConfig(prefetch=False))
+    first = hierarchy.load(100, pc=1, now=0)
+    second = hierarchy.load(100, pc=1, now=1)
+    assert first > 0       # cold miss
+    assert second == 0     # L1 hit
+
+
+def test_l2_hit_latency():
+    config = HierarchyConfig(l1d_lines=2, l1d_assoc=1, prefetch=False)
+    hierarchy = MemoryHierarchy(config)
+    hierarchy.load(0, pc=1, now=0)            # memory miss, fills L1+L2
+    # Evict line 0 from the tiny L1 by touching a conflicting line.
+    hierarchy.load(2 * L1_LINE_WORDS, pc=2, now=1)
+    extra = hierarchy.load(0, pc=3, now=2)
+    assert extra == config.l2_latency
+
+
+def test_memory_latency_on_cold_access():
+    config = HierarchyConfig(prefetch=False)
+    hierarchy = MemoryHierarchy(config)
+    assert hierarchy.load(0, pc=1, now=0) == config.memory_latency
+
+
+def test_store_buffer_forwarding_path():
+    hierarchy = MemoryHierarchy(HierarchyConfig(prefetch=False))
+    hierarchy.store(500, now=0)
+    assert hierarchy.load(500, pc=1, now=1) == 0
+
+
+def test_stride_prefetcher_hides_next_line():
+    config = HierarchyConfig(prefetch=True)
+    hierarchy = MemoryHierarchy(config)
+    pc = 7
+    # Walk sequentially; after training, line-crossing loads hit.
+    extras = [
+        hierarchy.load(addr, pc=pc, now=addr)
+        for addr in range(0, 8 * L1_LINE_WORDS)
+    ]
+    cold = extras[0]
+    later_line_boundaries = extras[4 * L1_LINE_WORDS:]
+    assert cold > 0
+    assert sum(later_line_boundaries) == 0  # prefetched ahead
+    assert hierarchy.prefetches > 0
+
+
+def test_ifetch_latencies():
+    config = HierarchyConfig(prefetch=False)
+    hierarchy = MemoryHierarchy(config)
+    assert hierarchy.ifetch(5) == config.memory_latency
+    assert hierarchy.ifetch(5) == 0  # now in L1I
+
+
+def test_store_full_buffer_backpressure():
+    config = HierarchyConfig(store_buffer_entries=1, prefetch=False)
+    hierarchy = MemoryHierarchy(config)
+    assert hierarchy.store(1, now=0)
+    assert not hierarchy.store(5000, now=0)  # buffer full, no drain yet

@@ -1,0 +1,102 @@
+"""Unit tests for the opcode tables."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    CLASS_LATENCY,
+    MNEMONICS,
+    OP_CLASS,
+    SPECS,
+    OpClass,
+    Opcode,
+    spec_for,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert op in OP_CLASS
+
+
+def test_every_opcode_has_a_spec():
+    for op in Opcode:
+        assert op in SPECS
+        assert SPECS[op].opcode is op
+
+
+def test_every_class_has_a_latency():
+    for cls in OpClass:
+        assert CLASS_LATENCY[cls] >= 1
+
+
+def test_mnemonics_roundtrip():
+    for op in Opcode:
+        assert MNEMONICS[op.value] is op
+
+
+def test_table1_latencies():
+    """Execution latencies match Table 1 of the paper."""
+    assert CLASS_LATENCY[OpClass.INT_ALU] == 1
+    assert CLASS_LATENCY[OpClass.BRANCH] == 2
+    assert CLASS_LATENCY[OpClass.INT_MUL] == 4
+    assert CLASS_LATENCY[OpClass.FP_ALU] == 3
+    assert CLASS_LATENCY[OpClass.FP_MUL] == 4
+    assert CLASS_LATENCY[OpClass.FP_DIV] == 18
+    assert CLASS_LATENCY[OpClass.LOAD] == 4
+
+
+def test_spec_latency_property():
+    assert spec_for(Opcode.MUL).latency == 4
+    assert spec_for(Opcode.ADD).latency == 1
+
+
+def test_branch_flags():
+    assert spec_for(Opcode.BEQ).is_branch
+    assert spec_for(Opcode.BEQ).is_conditional
+    assert not spec_for(Opcode.JAL).is_conditional
+    assert spec_for(Opcode.JAL).is_branch
+    assert spec_for(Opcode.JALR).is_indirect
+    assert spec_for(Opcode.RET).is_indirect
+    assert not spec_for(Opcode.ADD).is_branch
+
+
+def test_memory_flags():
+    assert spec_for(Opcode.LW).is_load
+    assert spec_for(Opcode.SW).is_store
+    assert not spec_for(Opcode.LW).is_store
+    assert not spec_for(Opcode.SW).is_load
+    assert not spec_for(Opcode.SW).has_dest
+
+
+def test_store_reads_two_sources():
+    assert spec_for(Opcode.SW).num_sources == 2
+
+
+def test_conditional_branches_read_two_sources():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        spec = spec_for(op)
+        assert spec.num_sources == 2
+        assert not spec.has_dest
+
+
+@pytest.mark.parametrize("op", [Opcode.ADD, Opcode.XOR, Opcode.MUL])
+def test_three_reg_alu_shape(op):
+    spec = spec_for(op)
+    assert spec.num_sources == 2
+    assert spec.has_dest
+    assert not spec.has_imm
+
+
+@pytest.mark.parametrize("op", [Opcode.ADDI, Opcode.SLLI, Opcode.ANDI])
+def test_imm_alu_shape(op):
+    spec = spec_for(op)
+    assert spec.num_sources == 1
+    assert spec.has_dest
+    assert spec.has_imm
+
+
+def test_system_ops():
+    assert spec_for(Opcode.NOP).num_sources == 0
+    assert spec_for(Opcode.HALT).num_sources == 0
+    assert spec_for(Opcode.OUT).num_sources == 1
+    assert not spec_for(Opcode.OUT).has_dest

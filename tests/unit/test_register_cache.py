@@ -1,0 +1,219 @@
+"""Unit tests for the register cache structure."""
+
+import pytest
+
+from repro.errors import RegisterFileError
+from repro.regfile.indexing import RoundRobinIndexing, StandardIndexing
+from repro.regfile.register_cache import (
+    MISS_CAPACITY,
+    MISS_COLD,
+    MISS_CONFLICT,
+    MISS_FILTERED,
+    RegisterCache,
+)
+from repro.regfile.replacement import LRUReplacement, UseBasedReplacement
+
+
+def make_cache(entries=4, assoc=2, replacement=None, indexing=None):
+    assoc_eff = assoc or entries
+    num_sets = entries // assoc_eff
+    return RegisterCache(
+        entries, assoc,
+        replacement or UseBasedReplacement(),
+        indexing or StandardIndexing(num_sets),
+    )
+
+
+def test_write_then_hit():
+    cache = make_cache()
+    cache.write(10, -1, remaining=2, pinned=False, now=0)
+    assert cache.contains(10)
+    assert cache.lookup(10, -1, now=1)
+    assert cache.stats.hits == 1
+
+
+def test_hit_decrements_remaining():
+    cache = make_cache()
+    cache.write(10, -1, remaining=2, pinned=False, now=0)
+    cache.lookup(10, -1, now=1)
+    assert cache.remaining_uses(10) == 1
+    cache.lookup(10, -1, now=2)
+    cache.lookup(10, -1, now=3)
+    assert cache.remaining_uses(10) == 0  # floors at zero
+
+
+def test_pinned_entry_never_decrements():
+    cache = make_cache()
+    cache.write(10, -1, remaining=7, pinned=True, now=0)
+    for t in range(5):
+        cache.lookup(10, -1, now=t)
+    assert cache.remaining_uses(10) == 7
+
+
+def test_cold_miss_classification():
+    cache = make_cache()
+    assert not cache.lookup(99, -1, now=0)
+    assert cache.stats.misses[MISS_COLD] == 1
+
+
+def test_filtered_miss_classification():
+    cache = make_cache()
+    cache.record_filtered_write(42)
+    assert not cache.lookup(42, -1, now=0)
+    assert cache.stats.misses[MISS_FILTERED] == 1
+    assert cache.stats.writes_filtered == 1
+
+
+def test_conflict_miss_classification():
+    # Direct-mapped, 2 sets: pregs 0 and 2 collide in set 0 while the
+    # cache as a whole still has room -> conflict.
+    cache = make_cache(entries=2, assoc=1)
+    cache.write(0, -1, 1, False, now=0)
+    cache.write(2, -1, 1, False, now=1)  # evicts preg 0
+    assert not cache.lookup(0, -1, now=2)
+    assert cache.stats.misses[MISS_CONFLICT] == 1
+
+
+def test_capacity_miss_classification():
+    # Fully-associative cache of 2: a third value evicts from a full
+    # cache -> capacity.
+    cache = make_cache(entries=2, assoc=0)
+    cache.write(0, -1, 1, False, now=0)
+    cache.write(1, -1, 1, False, now=1)
+    cache.write(2, -1, 1, False, now=2)
+    victim = next(p for p in (0, 1) if not cache.contains(p))
+    assert not cache.lookup(victim, -1, now=3)
+    assert cache.stats.misses[MISS_CAPACITY] == 1
+
+
+def test_eviction_prefers_fewest_remaining():
+    cache = make_cache(entries=2, assoc=2)
+    cache.write(1, -1, remaining=0, pinned=False, now=0)
+    cache.write(2, -1, remaining=5, pinned=False, now=1)
+    cache.write(3, -1, remaining=1, pinned=False, now=2)
+    assert not cache.contains(1)
+    assert cache.contains(2)
+    assert cache.stats.zero_use_victims == 1
+
+
+def test_eviction_with_uses_counted():
+    cache = make_cache(entries=2, assoc=2)
+    cache.write(1, -1, remaining=3, pinned=False, now=0)
+    cache.write(2, -1, remaining=5, pinned=False, now=1)
+    cache.write(3, -1, remaining=1, pinned=False, now=2)
+    assert cache.stats.evictions_with_uses == 1
+
+
+def test_lru_replacement_in_cache():
+    cache = make_cache(entries=2, assoc=2, replacement=LRUReplacement())
+    cache.write(1, -1, 9, False, now=0)
+    cache.write(2, -1, 0, False, now=1)
+    cache.lookup(1, -1, now=2)  # refresh preg 1
+    cache.write(3, -1, 0, False, now=3)
+    assert not cache.contains(2)  # LRU ignored use counts
+    assert cache.contains(1)
+
+
+def test_invalidate_removes_and_counts():
+    cache = make_cache()
+    cache.write(5, -1, 1, False, now=0)
+    cache.invalidate(5, now=4)
+    assert not cache.contains(5)
+    assert cache.stats.invalidations == 1
+    assert cache.stats.values_freed == 1
+
+
+def test_invalidate_uncached_counts_never_cached():
+    cache = make_cache()
+    cache.invalidate(7, now=1)
+    assert cache.stats.values_never_cached == 1
+    assert cache.stats.values_freed == 1
+
+
+def test_never_read_instances_tracked():
+    cache = make_cache()
+    cache.write(5, -1, 1, False, now=0)
+    cache.invalidate(5, now=10)
+    assert cache.stats.instances_never_read == 1
+    cache.write(6, -1, 1, False, now=10)
+    cache.lookup(6, -1, now=11)
+    cache.invalidate(6, now=12)
+    assert cache.stats.instances_never_read == 1
+
+
+def test_entry_lifetime_accumulates():
+    cache = make_cache()
+    cache.write(5, -1, 1, False, now=2)
+    cache.invalidate(5, now=12)
+    assert cache.stats.lifetime_sum == 10
+    assert cache.stats.average_lifetime == 10
+
+
+def test_occupancy_integral():
+    cache = make_cache()
+    cache.write(5, -1, 1, False, now=0)
+    cache.write(6, -1, 1, False, now=10)   # 10 cycles at occupancy 1
+    cache.finalize(20)                     # 10 cycles at occupancy 2
+    assert cache.stats.average_occupancy(20) == pytest.approx(1.5)
+
+
+def test_fill_write_counted_separately():
+    cache = make_cache()
+    cache.write(5, -1, 0, False, now=0, is_fill=True)
+    assert cache.stats.writes_fill == 1
+    assert cache.stats.writes_initial == 0
+
+
+def test_rewrite_refreshes_in_place():
+    cache = make_cache()
+    cache.write(5, -1, 1, False, now=0)
+    cache.write(5, -1, 4, False, now=3)
+    assert cache.remaining_uses(5) == 4
+    assert cache.occupancy == 1
+
+
+def test_wrong_set_access_raises():
+    cache = make_cache(entries=4, assoc=2, indexing=RoundRobinIndexing(2))
+    cache.write(5, 0, 1, False, now=0)
+    with pytest.raises(RegisterFileError):
+        cache.lookup(5, 1, now=1)
+
+
+def test_non_multiple_assoc_rejected():
+    with pytest.raises(ValueError):
+        make_cache(entries=5, assoc=2)
+
+
+def test_index_policy_set_count_must_match():
+    with pytest.raises(ValueError):
+        RegisterCache(8, 2, UseBasedReplacement(), StandardIndexing(2))
+
+
+def test_fully_associative_single_set():
+    cache = make_cache(entries=4, assoc=0)
+    assert cache.num_sets == 1
+    assert cache.assoc == 4
+
+
+def test_non_power_of_two_sets_supported():
+    # Decoupled indexing makes 3-set caches legal (paper §4.1).
+    cache = RegisterCache(6, 2, UseBasedReplacement(),
+                          RoundRobinIndexing(3))
+    for preg, set_index in ((1, 0), (2, 1), (3, 2)):
+        cache.write(preg, set_index, 1, False, now=0)
+    assert cache.occupancy == 3
+
+
+def test_check_invariants_clean():
+    cache = make_cache()
+    for preg in range(8):
+        cache.write(preg, -1, 1, False, now=preg)
+    cache.check_invariants()
+
+
+def test_miss_rate_property():
+    cache = make_cache()
+    cache.write(1, -1, 1, False, now=0)
+    cache.lookup(1, -1, now=1)
+    cache.lookup(99, -1, now=2)
+    assert cache.stats.miss_rate == pytest.approx(0.5)

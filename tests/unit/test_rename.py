@@ -1,0 +1,207 @@
+"""Unit tests for freelist, map table, and renamer."""
+
+import pytest
+
+from repro.errors import RenameError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.rename.freelist import FreeList
+from repro.rename.map_table import MapTable
+from repro.rename.renamer import Renamer
+from repro.vm.trace import DynamicInst
+
+
+# ----------------------------------------------------------------------
+# FreeList
+
+
+def test_freelist_counts():
+    freelist = FreeList(8)
+    assert freelist.free_count == 8
+    preg = freelist.allocate()
+    assert freelist.free_count == 7
+    assert freelist.allocated_count == 1
+    assert freelist.is_allocated(preg)
+
+
+def test_freelist_exhaustion_raises():
+    freelist = FreeList(2)
+    freelist.allocate()
+    freelist.allocate()
+    with pytest.raises(RenameError, match="exhausted"):
+        freelist.allocate()
+
+
+def test_freelist_release_and_reuse():
+    freelist = FreeList(2)
+    a = freelist.allocate()
+    freelist.release(a)
+    assert freelist.free_count == 2
+    assert not freelist.is_allocated(a)
+
+
+def test_freelist_double_free_raises():
+    freelist = FreeList(4)
+    preg = freelist.allocate()
+    freelist.release(preg)
+    with pytest.raises(RenameError, match="unallocated"):
+        freelist.release(preg)
+
+
+def test_freelist_lifo_reuses_recent():
+    freelist = FreeList(8, policy="lifo")
+    a = freelist.allocate()
+    b = freelist.allocate()
+    freelist.release(a)
+    freelist.release(b)
+    assert freelist.allocate() == b  # most recently freed first
+
+
+def test_freelist_fifo_round_robins():
+    freelist = FreeList(4, policy="fifo")
+    first = [freelist.allocate() for _ in range(4)]
+    for preg in first:
+        freelist.release(preg)
+    assert freelist.allocate() == first[0]
+
+
+def test_freelist_rejects_bad_policy():
+    with pytest.raises(ValueError):
+        FreeList(4, policy="random")
+
+
+def test_freelist_reserved_range():
+    freelist = FreeList(8, reserved=4)
+    assert freelist.free_count == 4
+    assert freelist.allocate() >= 4
+
+
+# ----------------------------------------------------------------------
+# MapTable
+
+
+def test_map_table_define_and_lookup():
+    table = MapTable()
+    assert table.lookup(5) is None
+    table.define(5, preg=100, cache_set=3)
+    mapping = table.lookup(5)
+    assert mapping.preg == 100 and mapping.cache_set == 3
+
+
+def test_map_table_define_returns_displaced():
+    table = MapTable()
+    table.define(5, 100)
+    displaced = table.define(5, 101)
+    assert displaced.preg == 100
+
+
+def test_map_table_checkpoint_restore():
+    table = MapTable()
+    table.define(1, 10)
+    snapshot = table.checkpoint()
+    table.define(1, 20)
+    table.define(2, 30)
+    table.restore(snapshot)
+    assert table.lookup(1).preg == 10
+    assert table.lookup(2) is None
+
+
+def test_map_table_restore_size_mismatch():
+    table = MapTable()
+    with pytest.raises(RenameError):
+        table.restore((None,))
+
+
+def test_map_table_out_of_range():
+    table = MapTable(num_arch_regs=8)
+    with pytest.raises(RenameError):
+        table.lookup(8)
+    with pytest.raises(RenameError):
+        table.define(-1, 0)
+
+
+def test_map_table_live_mappings():
+    table = MapTable()
+    table.define(1, 10)
+    table.define(2, 11)
+    assert {m.preg for m in table.live_mappings()} == {10, 11}
+
+
+# ----------------------------------------------------------------------
+# Renamer
+
+
+def _dyn(inst, seq=0):
+    return DynamicInst(seq, 0, inst)
+
+
+def test_renamer_allocates_dest_and_tracks_prev():
+    renamer = Renamer(FreeList(16), MapTable())
+    first = renamer.rename(
+        _dyn(Instruction(Opcode.ADDI, dest=5, src1=0, imm=1)), None
+    )
+    assert first.dest_preg >= 0
+    assert first.prev_preg == -1
+    second = renamer.rename(
+        _dyn(Instruction(Opcode.ADDI, dest=5, src1=0, imm=2)), None
+    )
+    assert second.prev_preg == first.dest_preg
+
+
+def test_renamer_resolves_sources_through_map():
+    renamer = Renamer(FreeList(16), MapTable())
+    producer = renamer.rename(
+        _dyn(Instruction(Opcode.ADDI, dest=3, src1=0, imm=1)), None
+    )
+    consumer = renamer.rename(
+        _dyn(Instruction(Opcode.ADD, dest=4, src1=3, src2=3)), None
+    )
+    assert consumer.sources == (
+        (producer.dest_preg, producer.dest_set),
+        (producer.dest_preg, producer.dest_set),
+    )
+
+
+def test_renamer_unmapped_source_is_free():
+    renamer = Renamer(FreeList(16), MapTable())
+    op = renamer.rename(
+        _dyn(Instruction(Opcode.ADD, dest=4, src1=7, src2=8)), None
+    )
+    assert op.sources == ((-1, -1), (-1, -1))
+
+
+def test_renamer_uses_set_assignment():
+    assigned = []
+
+    def assign(pred):
+        assigned.append(pred)
+        return 9
+
+    renamer = Renamer(FreeList(16), MapTable(), assign_set=assign)
+    op = renamer.rename(
+        _dyn(Instruction(Opcode.ADDI, dest=3, src1=0, imm=1)), 4
+    )
+    assert op.dest_set == 9
+    assert assigned == [4]
+
+
+def test_renamer_no_dest_allocates_nothing():
+    freelist = FreeList(16)
+    renamer = Renamer(freelist, MapTable())
+    op = renamer.rename(
+        _dyn(Instruction(Opcode.SW, src1=1, src2=2, imm=0)), None
+    )
+    assert op.dest_preg == -1
+    assert freelist.free_count == 16
+
+
+def test_renamer_can_rename_gates_on_freelist():
+    freelist = FreeList(1)
+    renamer = Renamer(freelist, MapTable())
+    dyn = _dyn(Instruction(Opcode.ADDI, dest=3, src1=0, imm=1))
+    assert renamer.can_rename(dyn)
+    renamer.rename(dyn, None)
+    assert not renamer.can_rename(dyn)
+    # Non-writing instructions are always renameable.
+    store = _dyn(Instruction(Opcode.SW, src1=1, src2=2, imm=0))
+    assert renamer.can_rename(store)

@@ -1,0 +1,42 @@
+"""Unit tests for JSON serialization of experiment results."""
+
+from repro.analysis.report import ExperimentResult, from_json, to_json
+
+
+def sample():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Title",
+        headers=["a", "b"],
+        rows=[["x", 1.5], ["y", 2]],
+        notes="note text",
+        meta={"k": 3},
+    )
+
+
+def test_round_trip():
+    result = sample()
+    clone = from_json(to_json(result))
+    assert clone.experiment_id == result.experiment_id
+    assert clone.headers == result.headers
+    assert clone.rows == result.rows
+    assert clone.notes == result.notes
+    assert clone.meta == result.meta
+
+
+def test_json_is_parseable():
+    import json
+    data = json.loads(to_json(sample()))
+    assert data["experiment_id"] == "figX"
+    assert data["rows"][0] == ["x", 1.5]
+
+
+def test_from_json_defaults_optional_fields():
+    import json
+    minimal = json.dumps({
+        "experiment_id": "e", "title": "t", "headers": ["h"],
+        "rows": [[1]],
+    })
+    result = from_json(minimal)
+    assert result.notes == ""
+    assert result.meta == {}

@@ -1,0 +1,84 @@
+"""Unit tests for trace records and trace-level statistics."""
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+from repro.vm.machine import run_program
+from repro.vm.trace import DynamicInst, Trace
+
+
+def test_dynamic_inst_strips_zero_sources():
+    inst = Instruction(Opcode.ADD, dest=3, src1=0, src2=2)
+    dyn = DynamicInst(0, 0, inst)
+    assert dyn.sources == (2,)
+
+
+def test_dynamic_inst_zero_dest_is_none():
+    inst = Instruction(Opcode.ADDI, dest=0, src1=1, imm=1)
+    dyn = DynamicInst(0, 0, inst)
+    assert dyn.dest is None
+    assert not dyn.writes_register
+
+
+def test_dynamic_inst_caches_spec_flags():
+    inst = Instruction(Opcode.LW, dest=2, src1=1, imm=0)
+    dyn = DynamicInst(0, 0, inst, mem_addr=5)
+    assert dyn.is_load and not dyn.is_store
+    assert dyn.op_class is OpClass.LOAD
+    assert dyn.latency == 4
+
+
+def test_trace_counts():
+    trace = run_program(assemble("""
+        addi r1, r0, 2
+    loop:
+        sw r1, 0(r1)
+        lw r2, 0(r1)
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    """))
+    assert trace.branch_count() == 2
+    assert trace.load_count() == 2
+    assert trace.store_count() == 2
+
+
+def test_mix_sums_to_length():
+    trace = run_program(assemble("""
+        addi r1, r0, 3
+        mul r2, r1, r1
+        halt
+    """))
+    assert sum(trace.mix().values()) == len(trace)
+
+
+def test_degree_of_use_histogram_single_use():
+    trace = run_program(assemble("""
+        addi r1, r0, 1
+        addi r2, r1, 1
+        halt
+    """))
+    hist = trace.degree_of_use_histogram()
+    # r1 used once (by the second addi); r2 never used.
+    assert hist.get(1) == 1
+    assert hist.get(0) == 1
+
+
+def test_degree_of_use_histogram_redefinition_closes_value():
+    trace = run_program(assemble("""
+        addi r1, r0, 1
+        add r2, r1, r1
+        addi r1, r0, 5
+        halt
+    """))
+    hist = trace.degree_of_use_histogram()
+    # First r1: two reads, then redefined. r2 and second r1: zero reads.
+    assert hist.get(2) == 1
+    assert hist.get(0) == 2
+
+
+def test_trace_indexing_and_iteration():
+    trace = run_program(assemble("nop\nhalt"))
+    assert len(trace) == 2
+    assert trace[0].pc == 0
+    assert [r.pc for r in trace] == [0, 1]
