@@ -27,6 +27,11 @@ def run_experiment(benchmark):
         result = benchmark.pedantic(
             lambda: fn(*args, **kwargs), rounds=1, iterations=1,
         )
+        engine_meta = getattr(result, "meta", {}).get("engine")
+        if engine_meta:
+            # Persist engine activity (cache hits, jobs executed, wall
+            # clock) alongside the timing in the bench JSON.
+            benchmark.extra_info["engine"] = engine_meta
         print()
         print(render(result))
         return result

@@ -1,5 +1,12 @@
-"""Experiment harness: metrics, sweeps, reports, and paper artifacts."""
+"""Experiment harness: engine, metrics, sweeps, reports, artifacts."""
 
+from repro.analysis.engine import (
+    ExperimentEngine,
+    JobFailure,
+    SimJob,
+    configure,
+    get_engine,
+)
 from repro.analysis.experiments import EXPERIMENTS
 from repro.analysis.metrics import CacheMetricsRow, aggregate_cache_metrics
 from repro.analysis.report import ExperimentResult, render, render_all
@@ -8,8 +15,13 @@ from repro.analysis.sweeps import ipc_curve, load_traces, run_config, sweep
 __all__ = [
     "CacheMetricsRow",
     "EXPERIMENTS",
+    "ExperimentEngine",
     "ExperimentResult",
+    "JobFailure",
+    "SimJob",
     "aggregate_cache_metrics",
+    "configure",
+    "get_engine",
     "ipc_curve",
     "load_traces",
     "render",

@@ -1,0 +1,469 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+Every figure and table of the reproduction reduces to simulating a grid
+of ``(MachineConfig, trace)`` pairs. This module owns that execution:
+
+* **Fan-out** — jobs run across a :class:`~concurrent.futures.
+  ProcessPoolExecutor` when more than one worker is configured, with
+  deterministic result ordering (results come back in job order no
+  matter which worker finishes first) and graceful fallback to the
+  serial in-process path when a pool cannot be created or breaks.
+* **Memoization** — results are stored in a content-addressed on-disk
+  cache keyed by a canonical hash of the machine configuration
+  (:meth:`~repro.core.config.MachineConfig.config_key`), the trace
+  provenance ``(kernel, scale, seed)``, the serialized-stats schema
+  version, and a fingerprint of the simulator source itself. Figures
+  that share baseline configs (fig7/fig8/fig11/table2 all re-run the
+  ``preg``/``monolithic`` variants) hit the cache instead of
+  re-simulating, and any edit to the simulator code automatically
+  invalidates stale entries.
+* **Error capture** — a worker failure is captured per job (with its
+  traceback) rather than poisoning the whole sweep; by default the
+  first failure re-raises as :class:`~repro.errors.EngineError`.
+* **Observability** — the engine counts jobs, cache hits/misses, and
+  per-job wall-clock so experiment results and bench JSONs can track
+  the perf trajectory of the harness itself.
+
+Environment knobs (read when the shared engine is created):
+
+* ``REPRO_JOBS`` — worker count (``1``/unset = serial; ``0``/``auto``
+  = one per CPU).
+* ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache.
+* ``REPRO_CACHE_DIR`` — cache location (default ``.repro-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import Pipeline
+from repro.core.stats import STATS_SCHEMA_VERSION, SimStats
+from repro.errors import EngineError
+from repro.vm.trace import Trace
+from repro.workloads.suite import load_trace
+
+#: Bump to invalidate every cached result regardless of code changes
+#: (e.g. when the cache file layout itself changes).
+CACHE_SCHEMA_VERSION = 1
+
+_code_fingerprint_memo: str | None = None
+
+
+def _code_fingerprint() -> str:
+    """Hash of every simulator source file that can affect a result.
+
+    The analysis layer (this package) is excluded: it only reports on
+    :class:`SimStats`, it never changes them. Everything else — pipeline,
+    register files, policies, predictor, ISA, VM, kernels — feeds the
+    cache key, so editing the simulator silently invalidates stale
+    results instead of serving them.
+    """
+    global _code_fingerprint_memo
+    if _code_fingerprint_memo is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("analysis/"):
+                continue
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _code_fingerprint_memo = digest.hexdigest()
+    return _code_fingerprint_memo
+
+
+# ----------------------------------------------------------------------
+# Job model.
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request: a machine configuration applied to a trace.
+
+    Jobs normally reference a suite trace by ``(trace_name, scale,
+    seed)`` provenance so workers can re-derive it locally (trace
+    loading is memoized per process) and results are cacheable. A job
+    may instead embed an explicit :class:`Trace` — such jobs still run
+    (in parallel too; the trace is pickled to the worker) but bypass
+    the on-disk cache because their content has no stable identity.
+    """
+
+    config: MachineConfig
+    trace_name: str = ""
+    scale: float = 1.0
+    seed: int | None = None
+    trace: Trace | None = None
+    label: str = ""
+
+    @classmethod
+    def for_trace(
+        cls, trace: Trace, config: MachineConfig, label: str = ""
+    ) -> "SimJob":
+        """Build a job from an in-memory trace, using provenance if any."""
+        provenance = getattr(trace, "provenance", None)
+        name = label or trace.name
+        if provenance is not None:
+            kernel, scale, seed = provenance
+            return cls(
+                config=config, trace_name=kernel, scale=scale, seed=seed,
+                label=name,
+            )
+        return cls(config=config, trace_name=trace.name, trace=trace,
+                   label=name)
+
+    @property
+    def cacheable(self) -> bool:
+        """True when the job's result can live in the on-disk cache."""
+        return self.trace is None and bool(self.trace_name)
+
+    def describe(self) -> str:
+        scheme = self.config.storage
+        return f"{self.label or self.trace_name or '<trace>'}[{scheme}]"
+
+    def resolve_trace(self) -> Trace:
+        """The trace to simulate (loading by provenance if needed)."""
+        if self.trace is not None:
+            return self.trace
+        return load_trace(self.trace_name, scale=self.scale, seed=self.seed)
+
+    def cache_key(self) -> str:
+        """Content-addressed identity of this job's result."""
+        payload = json.dumps(
+            {
+                "cache_schema": CACHE_SCHEMA_VERSION,
+                "stats_schema": STATS_SCHEMA_VERSION,
+                "code": _code_fingerprint(),
+                "config": self.config.config_key(),
+                "trace": [self.trace_name, float(self.scale), self.seed],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobFailure:
+    """Captured failure of one job (kept instead of a SimStats)."""
+
+    job: SimJob
+    error: str
+
+    def __bool__(self) -> bool:  # failed jobs are falsy result slots
+        return False
+
+
+def _execute_job(job: SimJob) -> tuple[str, object, float]:
+    """Run one job; never raises (worker-side error capture).
+
+    Returns ``("ok", SimStats, wall_seconds)`` or ``("error",
+    traceback_text, wall_seconds)``. Runs in worker processes, so it
+    must stay module-level (picklable by reference).
+    """
+    start = time.perf_counter()
+    try:
+        trace = job.resolve_trace()
+        stats = Pipeline(trace, job.config).run()
+        return ("ok", stats, time.perf_counter() - start)
+    except Exception:
+        return ("error", traceback.format_exc(), time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Observability counters.
+
+
+@dataclass
+class EngineCounters:
+    """Cumulative engine activity, cheap to snapshot and diff."""
+
+    jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    errors: int = 0
+    parallel_jobs: int = 0
+    serial_fallbacks: int = 0
+    job_seconds: float = 0.0
+    max_job_seconds: float = 0.0
+    engine_seconds: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "jobs": self.jobs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "errors": self.errors,
+            "parallel_jobs": self.parallel_jobs,
+            "serial_fallbacks": self.serial_fallbacks,
+            "job_seconds": round(self.job_seconds, 6),
+            "max_job_seconds": round(self.max_job_seconds, 6),
+            "engine_seconds": round(self.engine_seconds, 6),
+        }
+
+    def since(self, before: dict[str, float]) -> dict[str, float]:
+        """Delta of the additive counters since a snapshot.
+
+        ``max_job_seconds`` is a running maximum, not additive, so the
+        delta reports the current value.
+        """
+        now = self.snapshot()
+        delta = {
+            key: round(now[key] - before.get(key, 0), 6)
+            for key in now
+            if key != "max_job_seconds"
+        }
+        delta["max_job_seconds"] = now["max_job_seconds"]
+        return delta
+
+
+# ----------------------------------------------------------------------
+# The engine.
+
+
+class ExperimentEngine:
+    """Executes :class:`SimJob` batches with fan-out and memoization.
+
+    Args:
+        workers: default worker count for :meth:`run`; ``None`` reads
+            ``REPRO_JOBS`` (unset = 1, i.e. serial), ``0`` means one
+            worker per CPU.
+        cache_dir: on-disk result cache location; ``None`` reads
+            ``REPRO_CACHE_DIR`` (default ``.repro-cache``).
+        use_cache: disable to always re-simulate; ``None`` reads
+            ``REPRO_CACHE`` (anything but ``0``/``false`` enables).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        use_cache: bool | None = None,
+    ) -> None:
+        if workers is None:
+            workers = _parse_jobs(os.environ.get("REPRO_JOBS"))
+        if workers <= 0:  # 0 / "auto" = one worker per CPU
+            workers = os.cpu_count() or 1
+        self.workers = workers
+        if use_cache is None:
+            use_cache = os.environ.get("REPRO_CACHE", "1").lower() not in (
+                "0", "false", "off",
+            )
+        self.use_cache = use_cache
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+        self.cache_dir = Path(cache_dir)
+        self.counters = EngineCounters()
+
+    # ------------------------------------------------------------------
+    # Public API.
+
+    def run(
+        self,
+        jobs: Iterable[SimJob],
+        *,
+        workers: int | None = None,
+        raise_on_error: bool = True,
+    ) -> list[SimStats | JobFailure]:
+        """Execute *jobs*, returning results in job order.
+
+        Cached results are loaded without simulating; the remainder run
+        serially or across a process pool. With ``raise_on_error`` (the
+        default) the first captured failure re-raises as
+        :class:`EngineError`; otherwise failed slots hold
+        :class:`JobFailure` records.
+        """
+        start = time.perf_counter()
+        jobs = list(jobs)
+        counters = self.counters
+        counters.jobs += len(jobs)
+        results: list[SimStats | JobFailure | None] = [None] * len(jobs)
+
+        pending: list[int] = []
+        for index, job in enumerate(jobs):
+            if self.use_cache and job.cacheable:
+                cached = self._cache_load(job)
+                if cached is not None:
+                    counters.cache_hits += 1
+                    results[index] = cached
+                    continue
+                counters.cache_misses += 1
+            pending.append(index)
+
+        if pending:
+            workers = self._resolve_workers(workers, len(pending))
+            outcomes = self._execute_pending(
+                [jobs[index] for index in pending], workers
+            )
+            failures: list[JobFailure] = []
+            for index, outcome in zip(pending, outcomes):
+                status, payload, wall = outcome
+                job = jobs[index]
+                counters.executed += 1
+                counters.job_seconds += wall
+                if wall > counters.max_job_seconds:
+                    counters.max_job_seconds = wall
+                if status == "ok":
+                    if self.use_cache and job.cacheable:
+                        self._cache_store(job, payload)
+                    results[index] = payload
+                else:
+                    counters.errors += 1
+                    failure = JobFailure(job=job, error=payload)
+                    failures.append(failure)
+                    results[index] = failure
+            if failures and raise_on_error:
+                first = failures[0]
+                raise EngineError(
+                    f"{len(failures)} of {len(jobs)} jobs failed; first: "
+                    f"{first.job.describe()}\n{first.error}"
+                )
+
+        counters.engine_seconds += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def run_grid(
+        self,
+        traces: dict[str, Trace],
+        config: MachineConfig,
+        *,
+        workers: int | None = None,
+    ) -> dict[str, SimStats]:
+        """Simulate every named trace under *config* (cached, parallel)."""
+        jobs = [
+            SimJob.for_trace(trace, config, label=name)
+            for name, trace in traces.items()
+        ]
+        stats = self.run(jobs, workers=workers)
+        return dict(zip(traces.keys(), stats))
+
+    # ------------------------------------------------------------------
+    # Execution strategies.
+
+    def _resolve_workers(self, workers: int | None, pending: int) -> int:
+        if workers is None:
+            workers = self.workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, pending))
+
+    def _execute_pending(
+        self, jobs: Sequence[SimJob], workers: int
+    ) -> list[tuple[str, object, float]]:
+        if workers > 1 and len(jobs) > 1:
+            try:
+                return self._execute_parallel(jobs, workers)
+            except (OSError, RuntimeError, pickle.PicklingError, EOFError):
+                # Pool creation or transport failed (sandboxed platform,
+                # broken worker, unpicklable payload): fall back serial.
+                self.counters.serial_fallbacks += 1
+        return [_execute_job(job) for job in jobs]
+
+    def _execute_parallel(
+        self, jobs: Sequence[SimJob], workers: int
+    ) -> list[tuple[str, object, float]]:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_job, job) for job in jobs]
+            outcomes = [future.result() for future in futures]
+        self.counters.parallel_jobs += len(jobs)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # On-disk result cache.
+
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key[2:]}.json"
+
+    def _cache_load(self, job: SimJob) -> SimStats | None:
+        """Load a cached result; any corruption or staleness is a miss."""
+        key = job.cache_key()
+        path = self._cache_path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("key") != key:
+            return None
+        try:
+            return SimStats.from_dict(data["stats"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _cache_store(self, job: SimJob, stats: SimStats) -> None:
+        key = job.cache_key()
+        path = self._cache_path(key)
+        payload = {
+            "key": key,
+            "job": {
+                "trace": job.trace_name,
+                "scale": float(job.scale),
+                "seed": job.seed,
+                "scheme": job.config.storage,
+                "config_hash": job.config.config_hash(),
+            },
+            "stats": stats.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full filesystem never fails the experiment.
+            pass
+
+
+# ----------------------------------------------------------------------
+# Shared engine instance.
+
+_shared_engine: ExperimentEngine | None = None
+
+
+def _parse_jobs(raw: str | None) -> int:
+    if not raw:
+        return 1
+    if raw.strip().lower() == "auto":
+        return 0
+    try:
+        return int(raw)
+    except ValueError:
+        return 1
+
+
+def get_engine() -> ExperimentEngine:
+    """The process-wide engine used by sweeps and experiments."""
+    global _shared_engine
+    if _shared_engine is None:
+        _shared_engine = ExperimentEngine()
+    return _shared_engine
+
+
+def configure(
+    workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool | None = None,
+) -> ExperimentEngine:
+    """Replace the shared engine (tests, benchmarks, notebooks).
+
+    Arguments left as ``None`` fall back to the environment knobs, so
+    ``configure()`` with no arguments resets to the default setup.
+    """
+    global _shared_engine
+    _shared_engine = ExperimentEngine(
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache,
+    )
+    return _shared_engine

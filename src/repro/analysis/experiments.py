@@ -19,10 +19,12 @@ Run from the command line::
 
 from __future__ import annotations
 
+import functools
 import os
 import sys
 from collections.abc import Iterable
 
+from repro.analysis.engine import get_engine
 from repro.analysis.metrics import aggregate_cache_metrics
 from repro.analysis.report import ExperimentResult, render
 from repro.analysis.sweeps import load_traces, run_config, sweep
@@ -43,6 +45,27 @@ from repro.core.lifetimes import (
 )
 from repro.core.simulator import mean_ipc
 from repro.workloads.suite import DEFAULT_SUITE, SHORT_SUITE
+
+
+def _with_engine_meta(fn):
+    """Record engine activity (jobs, cache hits, wall-clock) in meta.
+
+    Wraps an experiment function so its :class:`ExperimentResult`
+    carries a ``meta["engine"]`` dict with the shared engine's counter
+    deltas for that experiment — the observability data bench JSONs use
+    to track the harness's own perf trajectory.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        counters = get_engine().counters
+        before = counters.snapshot()
+        result = fn(*args, **kwargs)
+        if isinstance(result, ExperimentResult):
+            result.meta["engine"] = counters.since(before)
+        return result
+
+    return wrapper
 
 
 def _scale() -> float:
@@ -73,6 +96,7 @@ def _scheme_configs(**common) -> dict[str, MachineConfig]:
 # Figure 1 / Figure 2 — register lifetimes.
 
 
+@_with_engine_meta
 def fig1_lifetimes(scale: float | None = None) -> ExperimentResult:
     """Median empty/live/dead register lifetime phases (Figure 1)."""
     traces = _traces(scale)
@@ -98,6 +122,7 @@ def fig1_lifetimes(scale: float | None = None) -> ExperimentResult:
     )
 
 
+@_with_engine_meta
 def fig2_occupancy_cdf(scale: float | None = None) -> ExperimentResult:
     """Allocated vs live register distributions (Figure 2)."""
     traces = _traces(scale)
@@ -138,6 +163,7 @@ def fig2_occupancy_cdf(scale: float | None = None) -> ExperimentResult:
 # Figure 6 / Figure 7 — organization and indexing tuning.
 
 
+@_with_engine_meta
 def fig6_size_assoc(
     scale: float | None = None,
     sizes: tuple[int, ...] = (16, 32, 48, 64, 96, 128),
@@ -179,6 +205,7 @@ def fig6_size_assoc(
     )
 
 
+@_with_engine_meta
 def fig7_indexing(
     scale: float | None = None,
     assocs: tuple[int, ...] = (1, 2, 4),
@@ -219,6 +246,7 @@ def fig7_indexing(
 # Figure 8-10 and Table 2 — characterization at the design point.
 
 
+@_with_engine_meta
 def fig8_miss_breakdown(scale: float | None = None) -> ExperimentResult:
     """Miss-rate taxonomy under standard vs decoupled indexing (Fig 8)."""
     traces = _traces(scale)
@@ -255,6 +283,7 @@ def fig8_miss_breakdown(scale: float | None = None) -> ExperimentResult:
     )
 
 
+@_with_engine_meta
 def fig9_bandwidth(scale: float | None = None) -> ExperimentResult:
     """Cache / register file access bandwidth (Figure 9)."""
     traces = _traces(scale)
@@ -278,6 +307,7 @@ def fig9_bandwidth(scale: float | None = None) -> ExperimentResult:
     )
 
 
+@_with_engine_meta
 def fig10_filtering(scale: float | None = None) -> ExperimentResult:
     """Write-filtering effects (Figure 10)."""
     traces = _traces(scale)
@@ -302,6 +332,7 @@ def fig10_filtering(scale: float | None = None) -> ExperimentResult:
     )
 
 
+@_with_engine_meta
 def table2_metrics(scale: float | None = None) -> ExperimentResult:
     """Register cache metric comparison (Table 2)."""
     traces = _traces(scale)
@@ -332,6 +363,7 @@ def table2_metrics(scale: float | None = None) -> ExperimentResult:
 # Figure 11 / Figure 12 — performance comparisons.
 
 
+@_with_engine_meta
 def fig11_perf_vs_size(
     scale: float | None = None,
     sizes: tuple[int, ...] = (16, 32, 48, 64, 96),
@@ -372,6 +404,7 @@ def fig11_perf_vs_size(
     )
 
 
+@_with_engine_meta
 def fig12_backing_latency(
     scale: float | None = None,
     latencies: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
@@ -415,6 +448,7 @@ def fig12_backing_latency(
 # §5.3 tuning studies and §3.3 predictor accuracy.
 
 
+@_with_engine_meta
 def tuning_max_use(
     scale: float | None = None,
     values: tuple[int, ...] = (2, 3, 5, 7, 9, 12, 15),
@@ -439,6 +473,7 @@ def tuning_max_use(
     )
 
 
+@_with_engine_meta
 def tuning_defaults(
     scale: float | None = None,
     unknown_values: tuple[int, ...] = (0, 1, 2, 3),
@@ -468,6 +503,7 @@ def tuning_defaults(
     )
 
 
+@_with_engine_meta
 def predictor_accuracy(scale: float | None = None) -> ExperimentResult:
     """Degree-of-use predictor accuracy and coverage (§3.3)."""
     traces = _traces(scale)
@@ -497,6 +533,7 @@ def predictor_accuracy(scale: float | None = None) -> ExperimentResult:
     )
 
 
+@_with_engine_meta
 def incorrect_use_info(
     scale: float | None = None,
     noise_levels: tuple[float, ...] = (0.0, 0.05, 0.15, 0.3, 0.6),
@@ -542,6 +579,7 @@ def incorrect_use_info(
     )
 
 
+@_with_engine_meta
 def table1_config() -> ExperimentResult:
     """Machine configuration versus Table 1 of the paper."""
     config = MachineConfig()
@@ -570,6 +608,7 @@ def table1_config() -> ExperimentResult:
     )
 
 
+@_with_engine_meta
 def ablations(scale: float | None = None) -> ExperimentResult:
     """Design-choice ablations beyond the paper's explicit studies."""
     traces = _traces(scale)

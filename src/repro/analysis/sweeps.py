@@ -1,11 +1,18 @@
-"""Parameter-sweep helpers shared by the experiment harness."""
+"""Parameter-sweep helpers shared by the experiment harness.
+
+All sweeps route through the :mod:`repro.analysis.engine` experiment
+engine: each ``(config, trace)`` pair becomes one :class:`SimJob`, the
+whole grid is submitted in a single batch (so parallel workers see the
+full fan-out, not one trace at a time), and previously simulated pairs
+are served from the engine's content-addressed result cache.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
+from repro.analysis.engine import ExperimentEngine, SimJob, get_engine
 from repro.core.config import MachineConfig
-from repro.core.pipeline import Pipeline
 from repro.core.simulator import mean_ipc
 from repro.core.stats import SimStats
 from repro.vm.trace import Trace
@@ -20,34 +27,50 @@ def load_traces(
 
 
 def run_config(
-    traces: dict[str, Trace], config: MachineConfig
+    traces: dict[str, Trace],
+    config: MachineConfig,
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, SimStats]:
-    """Simulate every trace under *config*."""
-    return {
-        name: Pipeline(trace, config).run()
-        for name, trace in traces.items()
-    }
+    """Simulate every trace under *config* (cached, possibly parallel)."""
+    engine = engine or get_engine()
+    return engine.run_grid(traces, config)
 
 
 def sweep(
     traces: dict[str, Trace],
     configs: dict[str, MachineConfig],
+    engine: ExperimentEngine | None = None,
 ) -> dict[str, dict[str, SimStats]]:
     """Simulate every trace under every named configuration.
+
+    The full ``configs x traces`` grid is submitted as one engine batch
+    so a parallel engine can overlap work across configurations, not
+    just within one.
 
     Returns:
         Mapping of configuration label to per-benchmark statistics.
     """
-    return {
-        label: run_config(traces, config)
-        for label, config in configs.items()
-    }
+    engine = engine or get_engine()
+    names = list(traces)
+    jobs = [
+        SimJob.for_trace(traces[name], config, label=name)
+        for config in configs.values()
+        for name in names
+    ]
+    stats = engine.run(jobs)
+    per_trace = len(names)
+    out: dict[str, dict[str, SimStats]] = {}
+    for row, label in enumerate(configs):
+        chunk = stats[row * per_trace:(row + 1) * per_trace]
+        out[label] = dict(zip(names, chunk))
+    return out
 
 
 def ipc_curve(
     traces: dict[str, Trace],
     config_for: Callable[[int], MachineConfig],
     points: Iterable[int],
+    engine: ExperimentEngine | None = None,
 ) -> list[tuple[int, float]]:
     """Geometric-mean IPC at each sweep point.
 
@@ -55,12 +78,23 @@ def ipc_curve(
         traces: benchmark traces.
         config_for: maps a sweep value (e.g. cache size) to a config.
         points: sweep values.
+        engine: experiment engine (defaults to the shared one).
 
     Returns:
         List of ``(point, mean_ipc)`` pairs in input order.
     """
+    engine = engine or get_engine()
+    points = list(points)
+    names = list(traces)
+    jobs = [
+        SimJob.for_trace(traces[name], config_for(point), label=name)
+        for point in points
+        for name in names
+    ]
+    stats = engine.run(jobs)
+    per_point = len(names)
     curve = []
-    for point in points:
-        results = run_config(traces, config_for(point))
-        curve.append((point, mean_ipc(results)))
+    for row, point in enumerate(points):
+        chunk = stats[row * per_point:(row + 1) * per_point]
+        curve.append((point, mean_ipc(dict(zip(names, chunk)))))
     return curve

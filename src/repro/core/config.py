@@ -14,6 +14,8 @@ evaluation: ``use_based``, ``lru``, ``non_bypass`` register caches, the
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -175,6 +177,48 @@ class MachineConfig:
         config = dataclasses.replace(self, **changes)
         config.validate()
         return config
+
+    def config_key(self) -> tuple[tuple[str, object], ...]:
+        """Canonical, order- and type-stable identity of this config.
+
+        Two configs that compare equal produce identical keys no matter
+        how they were constructed: fields are sorted by name, numeric
+        values are normalized (``64`` and ``64.0`` collapse, bools stay
+        distinct from ints), and enum-keyed dicts such as ``fu_counts``
+        become name-sorted tuples. The key is JSON-serializable, so it
+        doubles as the configuration part of the experiment engine's
+        content-addressed cache key and as a stable sweep label.
+        """
+        items = []
+        for f in sorted(dataclasses.fields(self), key=lambda f: f.name):
+            items.append((f.name, _normalize(getattr(self, f.name))))
+        return tuple(items)
+
+    def config_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`config_key`."""
+        payload = json.dumps(self.config_key(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _normalize(value: object) -> object:
+    """Normalize one config value for :meth:`MachineConfig.config_key`."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, float)):
+        # 64 and 64.0 are equal configs; keep the key equal too. Floats
+        # with fractional parts stay floats (repr round-trips exactly).
+        as_float = float(value)
+        return int(as_float) if as_float.is_integer() else as_float
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (getattr(key, "name", str(key)), _normalize(val))
+            for key, val in value.items()
+        ))
+    if isinstance(value, (tuple, list)):
+        return tuple(_normalize(item) for item in value)
+    raise ConfigError(
+        f"cannot canonicalize config value of type {type(value).__name__}"
+    )
 
 
 # ----------------------------------------------------------------------

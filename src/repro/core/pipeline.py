@@ -57,6 +57,11 @@ _WAITING = 0
 _ISSUED = 1
 
 
+def _op_seq(op: "_Op") -> int:
+    """Sort key for issue-group ordering (oldest first)."""
+    return op.seq
+
+
 class _Op:
     """One in-flight dynamic instruction."""
 
@@ -221,38 +226,73 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def run(self) -> SimStats:
-        """Simulate to completion and return the statistics."""
+        """Simulate to completion and return the statistics.
+
+        The loop body is the simulator's hottest code: every dict and
+        attribute that is touched each cycle is hoisted into a local,
+        and each event queue is drained with a single ``pop`` probe
+        instead of a membership test plus lookup.
+        """
         total = len(self.trace.records)
         config = self.config
+        max_cycles = config.max_cycles
+        fills = self._fills
+        lookups = self._lookups
+        dcache_events = self._dcache_events
+        writebacks = self._writebacks
+        resolves = self._resolves
+        blocked = self._blocked
+        ready = self._ready
+        two_level = self.two_level
+        stats = self.stats
+        process_fills = self._process_fills
+        process_lookups = self._process_lookups
+        process_dcache = self._process_dcache
+        process_writebacks = self._process_writebacks
+        process_resolves = self._process_resolves
+        retire = self._retire
+        issue = self._issue
+        dispatch = self._dispatch
         cycle = 0
         while self.retired < total:
-            if cycle >= config.max_cycles:
+            if cycle >= max_cycles:
                 raise SimulationError(
-                    f"{self.trace.name}: exceeded {config.max_cycles} cycles "
+                    f"{self.trace.name}: exceeded {max_cycles} cycles "
                     f"({self.retired}/{total} retired)"
                 )
             self.cycle = cycle
-            if cycle in self._fills:
-                self._process_fills(cycle)
-            if cycle in self._lookups:
-                self._process_lookups(cycle)
-            if cycle in self._dcache_events:
-                self._process_dcache(cycle)
-            if cycle in self._writebacks:
-                self._process_writebacks(cycle)
-            if cycle in self._resolves:
-                self._process_resolves(cycle)
-            self._retire(cycle)
-            if cycle in self._blocked:
-                self._blocked.discard(cycle)
-                self.stats.issue_blocked_cycles += 1
-                for op in self._ready.pop(cycle, ()):  # defer the group
-                    self._bucket(op, cycle + 1)
-            else:
-                self._issue(cycle)
-            self._dispatch(cycle)
-            if self.two_level is not None:
-                self.two_level.tick(cycle)
+            events = fills.pop(cycle, None)
+            if events is not None:
+                process_fills(events, cycle)
+            events = lookups.pop(cycle, None)
+            if events is not None:
+                process_lookups(events, cycle)
+            events = dcache_events.pop(cycle, None)
+            if events is not None:
+                process_dcache(events, cycle)
+            events = writebacks.pop(cycle, None)
+            if events is not None:
+                process_writebacks(events, cycle)
+            events = resolves.pop(cycle, None)
+            if events is not None:
+                process_resolves(events, cycle)
+            retire(cycle)
+            group = ready.pop(cycle, None)
+            if blocked and cycle in blocked:
+                blocked.discard(cycle)
+                stats.issue_blocked_cycles += 1
+                if group:  # defer the whole group one cycle
+                    nxt = cycle + 1
+                    bucket = ready.get(nxt)
+                    if bucket is None:
+                        ready[nxt] = group
+                    else:
+                        bucket.extend(group)
+            elif group:
+                issue(group, cycle)
+            dispatch(cycle)
+            if two_level is not None:
+                two_level.tick(cycle)
             cycle += 1
 
         self._finalize(cycle)
@@ -261,71 +301,103 @@ class Pipeline:
     # ------------------------------------------------------------------
     # Event processing.
 
-    def _process_fills(self, now: int) -> None:
-        for preg, assigned_set in self._fills.pop(now):
-            if self.pinfo[preg] is not None and self.cache is not None:
-                self.cache.write(
-                    preg, assigned_set, self.config.fill_default,
+    def _process_fills(self, events: list[tuple[int, int]], now: int) -> None:
+        pinfo = self.pinfo
+        cache = self.cache
+        if cache is None:
+            return
+        fill_default = self.config.fill_default
+        cache_write = cache.write
+        for preg, assigned_set in events:
+            if pinfo[preg] is not None:
+                cache_write(
+                    preg, assigned_set, fill_default,
                     pinned=False, now=now, is_fill=True,
                 )
 
-    def _process_lookups(self, now: int) -> None:
-        assert self.cache is not None and self.backing is not None
-        config = self.config
-        for op, preg, assigned_set in self._lookups.pop(now):
-            if self.cache.lookup(preg, assigned_set, now):
+    def _process_lookups(
+        self, events: list[tuple[_Op, int, int]], now: int
+    ) -> None:
+        cache = self.cache
+        backing = self.backing
+        assert cache is not None and backing is not None
+        pinfo = self.pinfo
+        fills = self._fills
+        stats = self.stats
+        lookup = cache.lookup
+        write_latency = backing.write_latency
+        for op, preg, assigned_set in events:
+            if lookup(preg, assigned_set, now):
                 continue
             # Miss: squash this cycle's issue group and fetch the value
             # from the backing file (paper §5.2 replay model).
-            self.stats.rc_miss_events += 1
+            stats.rc_miss_events += 1
             self._blocked.add(now)
-            producer = self.pinfo[preg]
+            producer = pinfo[preg]
             written_at = (
-                producer.exec_end + 1 + self.backing.write_latency
+                producer.exec_end + 1 + write_latency
                 if producer is not None and producer.issued else now
             )
-            available = self.backing.schedule_read(now + 1, written_at)
-            new_start = max(op.exec_start, available)
-            if new_start != op.exec_start:
+            available = backing.schedule_read(now + 1, written_at)
+            if available > op.exec_start:
                 latency = op.exec_end - op.exec_start
-                op.exec_start = new_start
-                op.exec_end = new_start + latency
+                op.exec_start = available
+                op.exec_end = available + latency
                 if op.dest_preg >= 0:
-                    dest_info = self.pinfo[op.dest_preg]
+                    dest_info = pinfo[op.dest_preg]
                     if dest_info is not None:
                         dest_info.exec_end = op.exec_end
-            self._fills.setdefault(available, []).append((preg, assigned_set))
+            bucket = fills.get(available)
+            if bucket is None:
+                fills[available] = [(preg, assigned_set)]
+            else:
+                bucket.append((preg, assigned_set))
 
-    def _process_dcache(self, now: int) -> None:
+    def _process_dcache(self, events: list[_Op], now: int) -> None:
         # Probed the cycle after issue: strictly before the earliest
         # dependent can issue (issue + load latency), so dependents never
         # schedule against a stale hit-assumed latency.
-        assert self.memory is not None
-        for op in self._dcache_events.pop(now):
-            extra = self.memory.load(op.dyn.mem_addr, op.dyn.pc, now)
+        memory = self.memory
+        assert memory is not None
+        pinfo = self.pinfo
+        stats = self.stats
+        blocked = self._blocked
+        load = memory.load
+        read_latency = self.read_latency
+        for op in events:
+            extra = load(op.dyn.mem_addr, op.dyn.pc, now)
             if extra:
                 op.exec_end += extra
                 if op.dest_preg >= 0:
-                    dest_info = self.pinfo[op.dest_preg]
+                    dest_info = pinfo[op.dest_preg]
                     if dest_info is not None:
                         dest_info.exec_end = op.exec_end
                 # Load-hit speculation replay: the squash loop contains
                 # the register read, so its cost scales with read latency.
-                self.stats.load_miss_replays += 1
+                stats.load_miss_replays += 1
                 detection = now + 3  # tag check, just before would-be data
-                for offset in range(self.read_latency):
-                    self._blocked.add(detection + offset)
+                for offset in range(read_latency):
+                    blocked.add(detection + offset)
 
-    def _process_writebacks(self, now: int) -> None:
-        for op in self._writebacks.pop(now):
-            if op.exec_end + 1 != now:
-                self._writebacks.setdefault(op.exec_end + 1, []).append(op)
+    def _process_writebacks(self, events: list[_Op], now: int) -> None:
+        pinfo = self.pinfo
+        cache = self.cache
+        rf = self.rf
+        writebacks = self._writebacks
+        for op in events:
+            requeue_at = op.exec_end + 1
+            if requeue_at != now:
+                bucket = writebacks.get(requeue_at)
+                if bucket is None:
+                    writebacks[requeue_at] = [op]
+                else:
+                    bucket.append(op)
                 continue
             preg = op.dest_preg
-            info = self.pinfo[preg]
+            info = pinfo[preg]
             if info is None:  # pragma: no cover - freed before write
                 continue
-            if self.cache is not None:
+            if cache is not None:
                 self.backing.record_write()
                 ctx = WriteContext(
                     pred_uses=op.pred_eff,
@@ -333,19 +405,26 @@ class Pipeline:
                     pinned=op.pinned,
                 )
                 if self.insertion.should_insert(ctx):
-                    remaining = max(0, op.pred_eff - info.bypass_total)
-                    self.cache.write(
-                        preg, op.dest_set, remaining, op.pinned, now
+                    remaining = op.pred_eff - info.bypass_total
+                    cache.write(
+                        preg, op.dest_set,
+                        remaining if remaining > 0 else 0, op.pinned, now,
                     )
                 else:
-                    self.cache.record_filtered_write(preg)
-            elif self.rf is not None:
-                self.rf.record_write()
+                    cache.record_filtered_write(preg)
+            elif rf is not None:
+                rf.record_write()
 
-    def _process_resolves(self, now: int) -> None:
-        for op in self._resolves.pop(now):
-            if op.exec_end + 1 != now:
-                self._resolves.setdefault(op.exec_end + 1, []).append(op)
+    def _process_resolves(self, events: list[_Op], now: int) -> None:
+        resolves = self._resolves
+        for op in events:
+            requeue_at = op.exec_end + 1
+            if requeue_at != now:
+                bucket = resolves.get(requeue_at)
+                if bucket is None:
+                    resolves[requeue_at] = [op]
+                else:
+                    bucket.append(op)
                 continue
             self.frontend.resume(now)
             self.stats.branch_mispredicts += 1
@@ -363,20 +442,27 @@ class Pipeline:
     # Retire.
 
     def _retire(self, now: int) -> None:
+        rob = self.rob
+        if not rob:
+            return
         config = self.config
+        retire_width = config.retire_width
+        retire_delay = config.retire_delay
+        max_store_retire = config.max_store_retire
+        memory = self.memory
+        free_preg = self._free_preg
         retired_this = 0
         stores_this = 0
-        rob = self.rob
-        while rob and retired_this < config.retire_width:
+        while rob and retired_this < retire_width:
             op = rob[0]
             if op.status != _ISSUED:
                 break
-            if now < op.exec_end + 1 + config.retire_delay:
+            if now < op.exec_end + 1 + retire_delay:
                 break
             if op.dyn.is_store:
-                if stores_this >= config.max_store_retire:
+                if stores_this >= max_store_retire:
                     break
-                if self.memory is not None and not self.memory.store(
+                if memory is not None and not memory.store(
                     op.dyn.mem_addr, now
                 ):
                     break
@@ -385,7 +471,7 @@ class Pipeline:
             retired_this += 1
             self.retired += 1
             if op.prev_preg >= 0:
-                self._free_preg(op.prev_preg, now)
+                free_preg(op.prev_preg, now)
 
     def _free_preg(self, preg: int, now: int) -> None:
         info = self.pinfo[preg]
@@ -411,80 +497,129 @@ class Pipeline:
     # Issue.
 
     def _bucket(self, op: _Op, when: int) -> None:
-        self._ready.setdefault(when, []).append(op)
-
-    def _source_state(self, preg: int, t: int) -> tuple[int, int]:
-        """Classify one operand at candidate issue time *t*.
-
-        Returns ``(kind, next_time)`` where kind is 1 = first-stage
-        bypass, 2 = later bypass stage, 3 = storage, and 0 = not ready
-        until ``next_time``.
-        """
-        info = self.pinfo[preg]
-        if info is None or not info.issued:
-            # Producer not yet issued (waiters should prevent this) or
-            # already freed (impossible before consumer issue); treat as
-            # not ready next cycle.
-            return 0, t + 1
-        earliest = info.exec_end - self.read_latency
-        if t < earliest:
-            return 0, earliest
-        if t < earliest + self.bypass_stages:
-            return (1 if t == earliest else 2), t
-        if self.rf is not None:
-            storage_from = (
-                info.exec_end + self.rf.write_latency - self.rf.read_latency
-            )
+        ready = self._ready
+        bucket = ready.get(when)
+        if bucket is None:
+            ready[when] = [op]
         else:
-            storage_from = info.exec_end + 1
-        if t >= storage_from:
-            return 3, t
-        return 0, storage_from
+            bucket.append(op)
 
-    def _issue(self, now: int) -> None:
-        candidates = self._ready.pop(now, None)
-        if not candidates:
-            return
-        candidates.sort(key=lambda op: op.seq)
+    def _issue(self, candidates: list[_Op], now: int) -> None:
+        """Issue up to ``issue_width`` ready ops from this cycle's group.
+
+        Operand classification (inlined in the source loop below for
+        speed): for a producer completing at ``exec_end``, a consumer
+        may issue from ``exec_end - read_latency`` (first-stage bypass,
+        kind 1), through the remaining bypass stages (kind 2), and from
+        storage (kind 3) once the value is written back — cache/L1 at
+        ``exec_end + 1``, monolithic file at ``exec_end + W - R`` with
+        read-during-write forwarding. Kind 0 = not ready yet; an
+        unissued (or freed) producer defers the consumer to ``now + 1``.
+        """
+        # Groups are usually appended in seq order already; only sort
+        # when an out-of-order append actually happened.
+        prev_seq = -1
+        for op in candidates:
+            seq = op.seq
+            if seq < prev_seq:
+                candidates.sort(key=_op_seq)
+                break
+            prev_seq = seq
         config = self.config
+        issue_width = config.issue_width
+        fu_counts = config.fu_counts
+        pinfo = self.pinfo
+        read_latency = self.read_latency
+        bypass_stages = self.bypass_stages
+        rf = self.rf
+        # Cycles from producer completion until storage can supply the
+        # operand: +1 for cache/L1, W - R for the monolithic file.
+        storage_delta = (
+            rf.write_latency - rf.read_latency if rf is not None else 1
+        )
+        ready = self._ready
         fu_used: dict[OpClass, int] = {}
         issued = 0
+        do_issue = self._do_issue
         for position, op in enumerate(candidates):
-            if issued >= config.issue_width:
-                for leftover in candidates[position:]:
-                    self._bucket(leftover, now + 1)
+            if issued >= issue_width:
+                nxt = now + 1
+                bucket = ready.get(nxt)
+                leftovers = candidates[position:]
+                if bucket is None:
+                    ready[nxt] = leftovers
+                else:
+                    bucket.extend(leftovers)
                 break
-            kinds = []
+            kinds: list[int] = []
+            kinds_append = kinds.append
             next_time = now
-            ready = True
+            is_ready = True
             for preg, _assigned in op.sources:
                 if preg < 0:
-                    kinds.append(-1)
+                    kinds_append(-1)
                     continue
-                kind, when = self._source_state(preg, now)
-                if kind == 0:
-                    ready = False
-                    next_time = max(next_time, when)
+                info = pinfo[preg]
+                if info is None or not info.issued:
+                    # Producer not yet issued (waiters should prevent
+                    # this) or already freed; not ready until next cycle.
+                    is_ready = False
+                    when = now + 1
+                    if when > next_time:
+                        next_time = when
                     break
-                kinds.append(kind)
-            if not ready:
-                self._bucket(op, max(now + 1, next_time))
+                exec_end = info.exec_end
+                earliest = exec_end - read_latency
+                if now < earliest:
+                    is_ready = False
+                    if earliest > next_time:
+                        next_time = earliest
+                    break
+                if now < earliest + bypass_stages:
+                    kinds_append(1 if now == earliest else 2)
+                    continue
+                storage_from = exec_end + storage_delta
+                if now >= storage_from:
+                    kinds_append(3)
+                    continue
+                is_ready = False
+                if storage_from > next_time:
+                    next_time = storage_from
+                break
+            if not is_ready:
+                when = next_time if next_time > now + 1 else now + 1
+                bucket = ready.get(when)
+                if bucket is None:
+                    ready[when] = [op]
+                else:
+                    bucket.append(op)
                 continue
             op_class = op.dyn.op_class
-            pool = config.fu_counts.get(op_class, 1)
-            if fu_used.get(op_class, 0) >= pool:
-                self._bucket(op, now + 1)
+            used = fu_used.get(op_class, 0)
+            if used >= fu_counts.get(op_class, 1):
+                nxt = now + 1
+                bucket = ready.get(nxt)
+                if bucket is None:
+                    ready[nxt] = [op]
+                else:
+                    bucket.append(op)
                 continue
-            fu_used[op_class] = fu_used.get(op_class, 0) + 1
+            fu_used[op_class] = used + 1
             issued += 1
-            self._do_issue(op, now, kinds)
+            do_issue(op, now, kinds)
 
     def _do_issue(self, op: _Op, now: int, kinds: list[int]) -> None:
         stats = self.stats
+        pinfo = self.pinfo
+        cache = self.cache
+        rf = self.rf
+        two_level = self.two_level
         op.status = _ISSUED
         op.issue_time = now
-        op.exec_start = now + 1 + self.read_latency
-        op.exec_end = op.exec_start + op.dyn.latency - 1
+        exec_start = now + 1 + self.read_latency
+        op.exec_start = exec_start
+        exec_end = exec_start + op.dyn.latency - 1
+        op.exec_end = exec_end
         self.window_count -= 1
         if self.config.record_timing:
             self.issue_log[op.seq] = op
@@ -492,7 +627,7 @@ class Pipeline:
         for (preg, assigned_set), kind in zip(op.sources, kinds):
             if kind < 0:
                 continue
-            info = self.pinfo[preg]
+            info = pinfo[preg]
             if kind == 1:
                 info.bypass_first += 1
                 info.bypass_total += 1
@@ -503,44 +638,74 @@ class Pipeline:
                 stats.operands_bypass += 1
             else:
                 stats.operands_storage += 1
-                if self.cache is not None:
-                    self._lookups.setdefault(now + 1, []).append(
-                        (op, preg, assigned_set)
-                    )
-                elif self.rf is not None:
-                    self.rf.record_read()
+                if cache is not None:
+                    lookups = self._lookups
+                    nxt = now + 1
+                    bucket = lookups.get(nxt)
+                    if bucket is None:
+                        lookups[nxt] = [(op, preg, assigned_set)]
+                    else:
+                        bucket.append((op, preg, assigned_set))
+                elif rf is not None:
+                    rf.record_read()
                     stats.rf_reads += 1
-            if info.last_read < op.exec_start:
-                info.last_read = op.exec_start
-            if self.two_level is not None:
-                self.two_level.consumer_executed(preg, now)
+            if info.last_read < exec_start:
+                info.last_read = exec_start
+            if two_level is not None:
+                two_level.consumer_executed(preg, now)
 
         if op.dest_preg >= 0:
-            dest_info = self.pinfo[op.dest_preg]
+            dest_info = pinfo[op.dest_preg]
             dest_info.issued = True
-            dest_info.exec_end = op.exec_end
-            self._writebacks.setdefault(op.exec_end + 1, []).append(op)
-            if dest_info.waiters:
-                for waiter in dest_info.waiters:
+            dest_info.exec_end = exec_end
+            writebacks = self._writebacks
+            wb_at = exec_end + 1
+            bucket = writebacks.get(wb_at)
+            if bucket is None:
+                writebacks[wb_at] = [op]
+            else:
+                bucket.append(op)
+            waiters = dest_info.waiters
+            if waiters:
+                bucket_op = self._bucket
+                earliest_of = self._earliest
+                floor = now + 1
+                for waiter in waiters:
                     waiter.unready -= 1
                     if waiter.unready == 0:
-                        self._bucket(waiter, max(now + 1,
-                                                 self._earliest(waiter)))
+                        when = earliest_of(waiter)
+                        bucket_op(waiter, when if when > floor else floor)
                 dest_info.waiters = []
         if op.dyn.is_load and self.memory is not None:
-            self._dcache_events.setdefault(now + 1, []).append(op)
+            events = self._dcache_events
+            nxt = now + 1
+            bucket = events.get(nxt)
+            if bucket is None:
+                events[nxt] = [op]
+            else:
+                bucket.append(op)
         if op.mispredicted:
-            self._resolves.setdefault(op.exec_end + 1, []).append(op)
+            resolves = self._resolves
+            at = exec_end + 1
+            bucket = resolves.get(at)
+            if bucket is None:
+                resolves[at] = [op]
+            else:
+                bucket.append(op)
 
     def _earliest(self, op: _Op) -> int:
         earliest = 0
+        pinfo = self.pinfo
+        read_latency = self.read_latency
         for preg, _assigned in op.sources:
             if preg < 0:
                 continue
-            info = self.pinfo[preg]
+            info = pinfo[preg]
             if info is None or not info.issued:
                 continue
-            earliest = max(earliest, info.exec_end - self.read_latency)
+            candidate = info.exec_end - read_latency
+            if candidate > earliest:
+                earliest = candidate
         return earliest
 
     # ------------------------------------------------------------------
@@ -552,39 +717,44 @@ class Pipeline:
             self.stats.rename_stall_cycles += 1
             return
         budget = config.dispatch_width
+        window_size = config.window_size
+        rob_size = config.rob_size
+        frontend = self.frontend
+        next_ready = frontend.next_ready
+        pop_next = frontend.pop_next
+        dispatch_one = self._dispatch_one
+        two_level = self.two_level
+        freelist = self.freelist
+        rob = self.rob
         stalled = False
         while budget > 0:
-            if (
-                self.window_count >= config.window_size
-                or len(self.rob) >= config.rob_size
-            ):
-                stalled = self.frontend.peek_ready(now)
+            if self.window_count >= window_size or len(rob) >= rob_size:
+                stalled = next_ready(now) is not None
                 break
-            fetched_peek = self.frontend.peek(now)
-            if fetched_peek is None:
+            fetched = next_ready(now)
+            if fetched is None:
                 break
-            dyn = fetched_peek.dyn
-            if dyn.writes_register:
-                if self.two_level is not None:
-                    if not self.two_level.can_allocate():
-                        if not self.rob:
+            if fetched.dyn.writes_register:
+                if two_level is not None:
+                    if not two_level.can_allocate():
+                        if not rob:
                             # Nothing in flight can ever free a slot:
                             # the program needs more registers than the
                             # L1 file holds.
                             raise SimulationError(
                                 "two-level L1 register file too small "
-                                f"({self.two_level.l1_capacity} entries) "
+                                f"({two_level.l1_capacity} entries) "
                                 "for the program's architectural "
                                 "register demand"
                             )
-                        self.two_level.note_rename_stall()
+                        two_level.note_rename_stall()
                         stalled = True
                         break
-                elif self.freelist.free_count <= self._wrongpath_reserved:
+                elif freelist.free_count <= self._wrongpath_reserved:
                     stalled = True
                     break
-            fetched = self.frontend.pull(now, 1)[0]
-            self._dispatch_one(fetched, now)
+            pop_next()
+            dispatch_one(fetched, now)
             budget -= 1
         if stalled:
             self.stats.dispatch_stall_cycles += 1
@@ -611,62 +781,73 @@ class Pipeline:
     def _dispatch_one(self, fetched, now: int) -> None:
         dyn = fetched.dyn
         op = _Op(dyn.seq, dyn)
-        op.mispredicted = fetched.mispredicted
-        if fetched.mispredicted:
+        mispredicted = fetched.mispredicted
+        op.mispredicted = mispredicted
+        if mispredicted:
             self._reserve_wrongpath()
 
-        predicted = None
-        if self.predictor is not None and dyn.writes_register:
-            predicted = self.predictor.predict(dyn.pc, self.fcf[dyn.seq])
         config = self.config
-        if dyn.writes_register:
+        pinfo = self.pinfo
+        two_level = self.two_level
+        predictor = self.predictor
+        writes_register = dyn.writes_register
+        predicted = None
+        if predictor is not None and writes_register:
+            predicted = predictor.predict(dyn.pc, self.fcf[dyn.seq])
+        if writes_register:
             raw = predicted if predicted is not None else config.unknown_default
-            op.pred_eff = min(raw, config.max_use)
+            max_use = config.max_use
+            pred_eff = raw if raw < max_use else max_use
+            op.pred_eff = pred_eff
             op.pinned = bool(
                 config.pin_at_max
                 and predicted is not None
-                and op.pred_eff == config.max_use
+                and pred_eff == max_use
             )
         op.predicted = predicted
 
         renamed = self.renamer.rename(dyn, op.pred_eff)
-        op.sources = renamed.sources
-        op.dest_preg = renamed.dest_preg
+        sources = renamed.sources
+        dest_preg = renamed.dest_preg
+        op.sources = sources
+        op.dest_preg = dest_preg
         op.dest_set = renamed.dest_set
         op.prev_preg = renamed.prev_preg
 
-        if op.dest_preg >= 0:
+        if dest_preg >= 0:
             info = _PregInfo(dyn.pc, self.fcf[dyn.seq], now)
             info.producer_seq = dyn.seq
             info.pred_eff = op.pred_eff
             info.pinned = op.pinned
             info.predicted = predicted
             info.assigned_set = op.dest_set
-            self.pinfo[op.dest_preg] = info
-            if self.two_level is not None:
-                self.two_level.allocate(op.dest_preg)
-        if op.prev_preg >= 0 and self.two_level is not None:
-            self.two_level.reassigned(op.prev_preg, now)
+            pinfo[dest_preg] = info
+            if two_level is not None:
+                two_level.allocate(dest_preg)
+        if renamed.prev_preg >= 0 and two_level is not None:
+            two_level.reassigned(renamed.prev_preg, now)
 
         unready = 0
-        if self.config.record_timing:
+        if config.record_timing:
             op.src_producer_seqs = tuple(
-                self.pinfo[preg].producer_seq if preg >= 0 else -1
-                for preg, _assigned in op.sources
+                pinfo[preg].producer_seq if preg >= 0 else -1
+                for preg, _assigned in sources
             )
-        for preg, _assigned in op.sources:
+        for preg, _assigned in sources:
             if preg < 0:
                 continue
-            info = self.pinfo[preg]
+            info = pinfo[preg]
             info.uses_renamed += 1
-            if self.two_level is not None:
-                self.two_level.add_pending_consumer(preg)
+            if two_level is not None:
+                two_level.add_pending_consumer(preg)
             if not info.issued:
                 info.waiters.append(op)
                 unready += 1
         op.unready = unready
         if unready == 0:
-            self._bucket(op, max(now + 1, self._earliest(op)))
+            earliest = self._earliest(op)
+            floor = now + 1
+            self._bucket(op, earliest if earliest > floor else floor)
 
         self.rob.append(op)
         self.window_count += 1

@@ -1,13 +1,27 @@
-"""Simulation statistics containers."""
+"""Simulation statistics containers.
+
+:class:`SimStats` is the unit of exchange between the simulator and the
+analysis layer, so it must travel well: across process boundaries (the
+parallel experiment engine pickles results back from its workers) and
+onto disk (the content-addressed result cache stores JSON). Both paths
+use the compact :meth:`SimStats.to_dict` form, which flattens the
+potentially huge lifetime log into a single integer array instead of a
+list of objects; :meth:`SimStats.from_dict` reverses it exactly.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.regfile.register_cache import CacheStats
 
+#: Bump when the serialized form of :class:`SimStats` changes shape, so
+#: the engine's on-disk result cache invalidates stale entries.
+STATS_SCHEMA_VERSION = 1
 
-@dataclass
+
+@dataclass(slots=True)
 class LifetimeRecord:
     """Lifecycle timestamps of one physical-register allocation.
 
@@ -31,6 +45,32 @@ class LifetimeRecord:
     @property
     def dead_time(self) -> int:
         return max(0, self.free - self.last_read)
+
+    def to_tuple(self) -> tuple[int, int, int, int]:
+        """Compact 4-tuple form used by the flat serialization."""
+        return (self.alloc, self.write, self.last_read, self.free)
+
+    @classmethod
+    def from_tuple(cls, values) -> "LifetimeRecord":
+        """Inverse of :meth:`to_tuple`."""
+        return cls(*values)
+
+
+def pack_lifetimes(records: list[LifetimeRecord]) -> list[int]:
+    """Flatten lifetime records into one int array (4 ints per record)."""
+    flat: list[int] = []
+    extend = flat.extend
+    for record in records:
+        extend((record.alloc, record.write, record.last_read, record.free))
+    return flat
+
+
+def unpack_lifetimes(flat: list[int]) -> list[LifetimeRecord]:
+    """Inverse of :func:`pack_lifetimes`."""
+    return [
+        LifetimeRecord(flat[i], flat[i + 1], flat[i + 2], flat[i + 3])
+        for i in range(0, len(flat), 4)
+    ]
 
 
 @dataclass
@@ -137,3 +177,46 @@ class SimStats:
                 "avg_entry_lifetime": self.cache.average_lifetime,
             })
         return out
+
+    # ------------------------------------------------------------------
+    # Serialization (process boundaries and the on-disk result cache).
+
+    def to_dict(self, include_lifetimes: bool = True) -> dict:
+        """Compact plain-data form, exactly invertible by :meth:`from_dict`.
+
+        Scalar counters are copied as-is; the cache sub-record becomes a
+        plain dict; the lifetime log is packed into one flat integer
+        array (4 ints per record) so serializing a long run does not drag
+        millions of Python objects through pickle or JSON. Pass
+        ``include_lifetimes=False`` to drop the log entirely when the
+        consumer only needs the counters.
+        """
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name not in ("cache", "lifetimes")
+        }
+        out["cache"] = None if self.cache is None else self.cache.to_dict()
+        out["lifetimes"] = (
+            pack_lifetimes(self.lifetimes) if include_lifetimes else []
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        cache = data.get("cache")
+        data["cache"] = None if cache is None else CacheStats.from_dict(cache)
+        data["lifetimes"] = unpack_lifetimes(data.get("lifetimes") or [])
+        return cls(**data)
+
+    def __reduce__(self):
+        # Pickle via the compact dict form: the lifetime log crosses
+        # process boundaries as one flat int list instead of N objects.
+        return (_simstats_from_dict, (self.to_dict(),))
+
+
+def _simstats_from_dict(data: dict) -> SimStats:
+    """Module-level unpickling hook for :meth:`SimStats.__reduce__`."""
+    return SimStats.from_dict(data)

@@ -35,6 +35,15 @@ class ConfigError(ReproError):
     """Raised when a machine configuration is internally inconsistent."""
 
 
+class EngineError(ReproError):
+    """Raised when the experiment engine cannot produce a result.
+
+    Wraps per-job failures (with their worker tracebacks) so a sweep
+    that fans out across processes still surfaces the first underlying
+    simulator error to the caller.
+    """
+
+
 class SimulationError(ReproError):
     """Raised when the timing model reaches an impossible state.
 

@@ -119,72 +119,106 @@ class FrontEnd:
         consumed remain queued.
         """
         self._fill_queue(now)
+        queue = self._queue
         out: list[FetchedInst] = []
-        while (
-            self._queue
-            and len(out) < max_count
-            and self._queue[0].ready_at <= now
-        ):
-            out.append(self._queue.popleft())
+        while queue and len(out) < max_count and queue[0].ready_at <= now:
+            out.append(queue.popleft())
         return out
+
+    def next_ready(self, now: int) -> FetchedInst | None:
+        """Head of the queue if dispatchable at *now*, without consuming.
+
+        This is the dispatch stage's fast path: one fetch-ahead fill and
+        one queue probe per call. Consume the returned instruction with
+        :meth:`pop_next`.
+        """
+        self._fill_queue(now)
+        queue = self._queue
+        if queue:
+            head = queue[0]
+            if head.ready_at <= now:
+                return head
+        return None
+
+    def pop_next(self) -> FetchedInst:
+        """Consume the head instruction (after :meth:`next_ready`)."""
+        return self._queue.popleft()
 
     def peek_ready(self, now: int) -> bool:
         """True if at least one instruction is dispatchable at *now*."""
-        self._fill_queue(now)
-        return bool(self._queue) and self._queue[0].ready_at <= now
+        return self.next_ready(now) is not None
 
     def peek(self, now: int) -> FetchedInst | None:
         """Next dispatchable instruction without consuming it."""
-        if not self.peek_ready(now):
-            return None
-        return self._queue[0]
+        return self.next_ready(now)
 
     # ------------------------------------------------------------------
 
     def _fill_queue(self, now: int) -> None:
-        """Fetch ahead until the queue is full or fetch passes *now*."""
-        while (
-            not self._stalled_for_branch
-            and self._next_index < len(self.records)
-            and len(self._queue) < self.queue_capacity
-            and self._fetch_cycle <= now
-        ):
-            self._fetch_one()
+        """Fetch ahead until the queue is full or fetch passes *now*.
 
-    def _fetch_one(self) -> None:
-        dyn = self.records[self._next_index]
-        self._next_index += 1
-
-        line = dyn.pc // self.line_insts
-        if line != self._last_line:
-            self._last_line = line
-            if self.icache is not None:
-                stall = self.icache.access(line)
-                if stall:
-                    self._fetch_cycle += stall
-                    self._slots_left = self.fetch_width
-
-        ends_block = False
-        mispredicted = False
-        if dyn.is_branch:
-            mispredicted = not self._predict(dyn)
-            if dyn.taken or mispredicted:
-                ends_block = True
-
-        fetched = FetchedInst(
-            dyn, self._fetch_cycle + self.front_depth, mispredicted
-        )
-        self._queue.append(fetched)
-
-        self._slots_left -= 1
-        if mispredicted:
-            # Fetch stops; the pipeline calls resume() at resolution.
-            self._stalled_for_branch = True
+        Runs once per dispatch-stage probe, so the whole fetch loop
+        works on locals and writes the front-end state back once.
+        """
+        if self._stalled_for_branch:
             return
-        if ends_block or self._slots_left == 0:
-            self._fetch_cycle += 1
-            self._slots_left = self.fetch_width
-            self._last_line = -1 if ends_block else self._last_line
+        records = self.records
+        total = len(records)
+        next_index = self._next_index
+        if next_index >= total:
+            return
+        queue = self._queue
+        capacity = self.queue_capacity
+        fetch_cycle = self._fetch_cycle
+        queue_len = len(queue)
+        if fetch_cycle > now or queue_len >= capacity:
+            return
+        fetch_width = self.fetch_width
+        front_depth = self.front_depth
+        line_insts = self.line_insts
+        icache = self.icache
+        slots_left = self._slots_left
+        last_line = self._last_line
+        append = queue.append
+        predict = self._predict
+        while next_index < total and queue_len < capacity \
+                and fetch_cycle <= now:
+            dyn = records[next_index]
+            next_index += 1
+
+            line = dyn.pc // line_insts
+            if line != last_line:
+                last_line = line
+                if icache is not None:
+                    stall = icache.access(line)
+                    if stall:
+                        fetch_cycle += stall
+                        slots_left = fetch_width
+
+            ends_block = False
+            mispredicted = False
+            if dyn.is_branch:
+                mispredicted = not predict(dyn)
+                if dyn.taken or mispredicted:
+                    ends_block = True
+
+            append(FetchedInst(dyn, fetch_cycle + front_depth, mispredicted))
+            queue_len += 1
+
+            slots_left -= 1
+            if mispredicted:
+                # Fetch stops; the pipeline calls resume() at resolution.
+                self._stalled_for_branch = True
+                break
+            if ends_block or slots_left == 0:
+                fetch_cycle += 1
+                slots_left = fetch_width
+                if ends_block:
+                    last_line = -1
+        self._next_index = next_index
+        self._fetch_cycle = fetch_cycle
+        self._slots_left = slots_left
+        self._last_line = last_line
 
     def _predict(self, dyn: DynamicInst) -> bool:
         """Predict *dyn* and train; returns True when fully correct."""

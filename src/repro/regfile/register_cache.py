@@ -14,6 +14,7 @@ incrementally so they cost O(1) per access.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import RegisterFileError
@@ -141,6 +142,23 @@ class CacheStats:
         if not self.lifetime_count:
             return 0.0
         return self.lifetime_sum / self.lifetime_count
+
+    def to_dict(self) -> dict:
+        """Plain-data form (ints and a str-keyed dict), JSON-safe."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "misses"
+        }
+        out["misses"] = dict(self.misses)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheStats":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["misses"] = dict(data.get("misses", {}))
+        return cls(**data)
 
 
 class RegisterCache:

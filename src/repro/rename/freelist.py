@@ -40,6 +40,7 @@ class FreeList:
             raise ValueError(f"unknown freelist policy {policy!r}")
         self.num_registers = num_registers
         self.policy = policy
+        self._lifo = policy == "lifo"
         self._free: deque[int] = deque(range(reserved, num_registers))
         self._allocated: set[int] = set()
 
@@ -63,9 +64,10 @@ class FreeList:
             RenameError: when the freelist is empty (the caller should
                 have stalled rename instead).
         """
-        if not self._free:
+        free = self._free
+        if not free:
             raise RenameError("physical register freelist exhausted")
-        preg = self._free.pop() if self.policy == "lifo" else self._free.popleft()
+        preg = free.pop() if self._lifo else free.popleft()
         self._allocated.add(preg)
         return preg
 

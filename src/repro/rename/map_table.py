@@ -14,7 +14,7 @@ from repro.errors import RenameError
 from repro.isa.instruction import NUM_ARCH_REGS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mapping:
     """Current mapping of one architectural register.
 

@@ -9,7 +9,7 @@ from repro.rename.map_table import MapTable
 from repro.vm.trace import DynamicInst
 
 
-@dataclass
+@dataclass(slots=True)
 class RenamedOp:
     """Rename-stage output for one dynamic instruction.
 
@@ -68,13 +68,16 @@ class Renamer:
         The caller must have checked :meth:`can_rename`; the underlying
         freelist raises :class:`~repro.errors.RenameError` otherwise.
         """
+        map_table = self.map_table
+        lookup = map_table.lookup
         sources = []
+        append = sources.append
         for arch_src in dyn.sources:
-            mapping = self.map_table.lookup(arch_src)
+            mapping = lookup(arch_src)
             if mapping is None:
-                sources.append((-1, -1))
+                append((-1, -1))
             else:
-                sources.append((mapping.preg, mapping.cache_set))
+                append((mapping.preg, mapping.cache_set))
 
         dest_preg = -1
         dest_set = -1
@@ -83,7 +86,7 @@ class Renamer:
             dest_preg = self.freelist.allocate()
             if self.assign_set is not None:
                 dest_set = self.assign_set(pred_uses)
-            displaced = self.map_table.define(dyn.dest, dest_preg, dest_set)
+            displaced = map_table.define(dyn.dest, dest_preg, dest_set)
             if displaced is not None:
                 prev_preg = displaced.preg
 

@@ -89,6 +89,12 @@ class Trace:
     def __init__(self, records: Iterable[DynamicInst], name: str = "") -> None:
         self.records: list[DynamicInst] = list(records)
         self.name = name
+        #: ``(kernel_name, scale, seed)`` when the trace came from the
+        #: benchmark-suite registry, else ``None``. Provenance lets the
+        #: experiment engine re-derive the trace inside worker processes
+        #: and key its on-disk result cache without shipping or hashing
+        #: the record list itself.
+        self.provenance: tuple[str, float, int | None] | None = None
 
     def __len__(self) -> int:
         return len(self.records)

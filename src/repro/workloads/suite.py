@@ -64,7 +64,9 @@ def load_trace(name: str, scale: float = 1.0, seed: int | None = None) -> Trace:
     immutable.
     """
     program = build_program(name, scale=scale, seed=seed)
-    return run_program(program)
+    trace = run_program(program)
+    trace.provenance = (name, float(scale), seed)
+    return trace
 
 
 def load_suite(

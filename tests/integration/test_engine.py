@@ -1,0 +1,200 @@
+"""The experiment engine: fan-out, caching, and failure capture.
+
+The contract under test is the one the analysis layer depends on: the
+serial path, the process-pool path, and the cache-hit path must return
+*bitwise-identical* SimStats for the same job grid, corrupt or stale
+cache entries must be re-simulated (never served), and failures must be
+captured per job.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import engine as engine_mod
+from repro.analysis.engine import (
+    EngineCounters,
+    ExperimentEngine,
+    JobFailure,
+    SimJob,
+)
+from repro.core.config import (
+    lru_config,
+    monolithic_config,
+    use_based_config,
+)
+from repro.errors import EngineError
+from repro.workloads.suite import load_trace
+
+SCALE = 0.06
+TRACES = ("compress", "pointer_chase", "hash_dict")
+CONFIGS = (use_based_config(), lru_config(), monolithic_config(3))
+
+
+def _grid_jobs():
+    return [
+        SimJob(config=config, trace_name=name, scale=SCALE, label=name)
+        for config in CONFIGS
+        for name in TRACES
+    ]
+
+
+def _dicts(results):
+    return [stats.to_dict() for stats in results]
+
+
+def test_serial_parallel_and_cached_results_identical(tmp_path):
+    """3 configs x 3 traces: every execution path agrees bit-for-bit."""
+    serial = ExperimentEngine(workers=1, use_cache=False)
+    baseline = _dicts(serial.run(_grid_jobs()))
+    assert serial.counters.executed == 9
+
+    parallel = ExperimentEngine(workers=4, cache_dir=tmp_path / "cache")
+    cold = _dicts(parallel.run(_grid_jobs()))
+    assert cold == baseline
+    assert parallel.counters.cache_misses == 9
+
+    # Second pass: everything comes from the on-disk cache, untouched.
+    warm = _dicts(parallel.run(_grid_jobs()))
+    assert warm == baseline
+    assert parallel.counters.cache_hits == 9
+    assert parallel.counters.executed == 9  # no re-simulation
+
+
+def test_parallel_pool_actually_used(tmp_path):
+    engine = ExperimentEngine(workers=4, use_cache=False)
+    jobs = [
+        SimJob(config=use_based_config(), trace_name=name, scale=SCALE)
+        for name in TRACES
+    ]
+    results = engine.run(jobs)
+    assert len(results) == 3
+    if engine.counters.serial_fallbacks == 0:
+        assert engine.counters.parallel_jobs == 3
+
+
+def test_corrupted_cache_entry_detected_and_resimulated(tmp_path):
+    engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=SCALE)
+    first = engine.run([job])[0]
+    path = engine._cache_path(job.cache_key())
+    assert path.exists()
+
+    # Truncate the entry mid-JSON: the probe must treat it as a miss,
+    # re-simulate, and repair the file.
+    path.write_text(path.read_text()[: 40])
+    again = engine.run([job])[0]
+    assert again.to_dict() == first.to_dict()
+    assert engine.counters.executed == 2
+    assert json.loads(path.read_text())["stats"]["cycles"] == first.cycles
+
+
+def test_stale_cache_key_mismatch_is_a_miss(tmp_path):
+    """An entry whose recorded key disagrees with its address (e.g. a
+    file surviving a hash-scheme change) is never served."""
+    engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=SCALE)
+    first = engine.run([job])[0]
+    path = engine._cache_path(job.cache_key())
+    payload = json.loads(path.read_text())
+    payload["key"] = "0" * 64
+    path.write_text(json.dumps(payload))
+
+    again = engine.run([job])[0]
+    assert again.to_dict() == first.to_dict()
+    assert engine.counters.executed == 2
+
+
+def test_code_fingerprint_feeds_cache_key(monkeypatch):
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=SCALE)
+    before = job.cache_key()
+    monkeypatch.setattr(engine_mod, "_code_fingerprint_memo", "deadbeef")
+    assert job.cache_key() != before
+
+
+def test_job_failure_captured_and_raised(tmp_path):
+    """A failing job raises EngineError naming the job; with
+    raise_on_error=False the slot holds the captured traceback."""
+    engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+    bad = SimJob(config=use_based_config(max_cycles=10),
+                 trace_name="compress", scale=SCALE, label="doomed")
+    good = SimJob(config=use_based_config(), trace_name="compress",
+                  scale=SCALE)
+
+    with pytest.raises(EngineError, match="doomed"):
+        engine.run([good, bad])
+
+    results = engine.run([good, bad], raise_on_error=False)
+    assert results[0]  # real stats in slot 0
+    failure = results[1]
+    assert isinstance(failure, JobFailure)
+    assert not failure  # failed slots are falsy
+    assert "SimulationError" in failure.error
+    assert engine.counters.errors >= 1
+    # The failure must not have been cached as a result.
+    assert engine._cache_load(bad) is None
+
+
+def test_in_memory_trace_jobs_run_but_bypass_cache(tmp_path):
+    # load_trace memoizes Trace objects per process, so sever the
+    # provenance on a copy-like job and restore it afterwards.
+    trace = load_trace("compress", scale=SCALE)
+    saved = trace.provenance
+    trace.provenance = None  # no safe cache identity exists
+    try:
+        engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+        job = SimJob.for_trace(trace, use_based_config())
+        assert not job.cacheable
+        engine.run([job])
+        engine.run([job])
+        assert engine.counters.executed == 2
+        assert engine.counters.cache_hits == 0
+    finally:
+        trace.provenance = saved
+
+
+def test_counters_flow_into_experiment_meta(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", str(SCALE))
+    monkeypatch.setenv("REPRO_SUITE", "short")
+    from repro.analysis import experiments
+    from repro.analysis.engine import configure
+
+    configure(workers=1, cache_dir=tmp_path)
+    try:
+        result = experiments.table2_metrics()
+    finally:
+        configure()
+    meta = result.meta["engine"]
+    assert meta["jobs"] > 0
+    assert meta["cache_misses"] + meta["cache_hits"] == meta["jobs"]
+    assert meta["engine_seconds"] > 0
+    assert meta["max_job_seconds"] > 0
+
+
+def test_counters_since_reports_deltas():
+    counters = EngineCounters(jobs=5, executed=3, job_seconds=1.5,
+                              max_job_seconds=0.9)
+    before = counters.snapshot()
+    counters.jobs += 2
+    counters.cache_hits += 2
+    delta = counters.since(before)
+    assert delta["jobs"] == 2
+    assert delta["cache_hits"] == 2
+    assert delta["executed"] == 0
+    assert delta["max_job_seconds"] == 0.9  # running max, not a delta
+
+
+@pytest.mark.smoke
+def test_smoke_single_cached_engine_job(tmp_path):
+    """Fast end-to-end probe: one tiny job, simulated then cache-hit."""
+    engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=0.03)
+    first = engine.run([job])[0]
+    second = engine.run([job])[0]
+    assert engine.counters.cache_hits == 1
+    assert second.to_dict() == first.to_dict()
+    assert first.retired > 0

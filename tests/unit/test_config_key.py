@@ -1,0 +1,88 @@
+"""Canonical configuration keys (engine cache identity, sweep labels)."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    MachineConfig,
+    lru_config,
+    monolithic_config,
+    use_based_config,
+)
+from repro.isa.opcodes import OpClass
+
+
+def test_equal_configs_built_differently_hash_identically():
+    """Field order, dict insertion order, and int/float spelling must
+    not change the key: the cache would otherwise resimulate (or worse,
+    alias) identical machines."""
+    counts_a = {
+        OpClass.INT_ALU: 6,
+        OpClass.BRANCH: 2,
+        OpClass.INT_MUL: 2,
+        OpClass.FP_ALU: 4,
+        OpClass.FP_MUL: 2,
+        OpClass.FP_DIV: 2,
+        OpClass.LOAD: 4,
+        OpClass.STORE: 2,
+        OpClass.SYSTEM: 8,
+    }
+    # Same mapping, reversed insertion order.
+    counts_b = dict(reversed(list(counts_a.items())))
+    assert list(counts_a) != list(counts_b)
+
+    a = MachineConfig(
+        cache_entries=64,
+        backing_read_latency=2,
+        fu_counts=counts_a,
+        wrongpath_use_noise=0.0,
+    )
+    b = MachineConfig(
+        wrongpath_use_noise=0,  # int spelling of the same value
+        fu_counts=counts_b,
+        backing_read_latency=2.0,  # float spelling of the same value
+        cache_entries=64,
+    )
+    assert a.config_key() == b.config_key()
+    assert a.config_hash() == b.config_hash()
+
+
+def test_distinct_configs_hash_differently():
+    base = use_based_config()
+    assert base.config_hash() != lru_config().config_hash()
+    assert base.config_hash() != monolithic_config(3).config_hash()
+    assert (
+        base.config_hash()
+        != use_based_config(cache_entries=32).config_hash()
+    )
+
+
+def test_bool_and_int_stay_distinct():
+    """pin_at_max=True must not collide with a hypothetical 1-valued
+    numeric field; bools keep their own identity in the key."""
+    on = use_based_config(pin_at_max=True)
+    off = use_based_config(pin_at_max=False)
+    assert on.config_hash() != off.config_hash()
+    key = dict(on.config_key())
+    assert key["pin_at_max"] is True
+
+
+def test_config_hash_shape_and_stability():
+    config = use_based_config()
+    digest = config.config_hash()
+    assert len(digest) == 64
+    int(digest, 16)  # valid hex
+    assert digest == config.config_hash()  # deterministic
+
+
+def test_config_key_is_json_serializable():
+    payload = json.dumps(use_based_config().config_key(), sort_keys=True)
+    assert "fu_counts" in payload
+
+
+def test_unknown_field_types_rejected():
+    from repro.core.config import _normalize
+
+    with pytest.raises(Exception):
+        _normalize(object())
