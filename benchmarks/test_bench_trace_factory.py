@@ -1,0 +1,113 @@
+"""Trace-factory speedups: predecoded VM dispatch and the on-disk
+trace cache.
+
+Like the engine benches, these track the performance of the harness
+itself rather than a paper artifact. Each test records its measurements
+in ``benchmark.extra_info`` so the bench JSON carries the trajectory
+across PRs; hardware-dependent speedup assertions are relaxed or skipped
+on constrained machines (the numbers are still recorded).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.workloads import suite
+from repro.workloads.suite import build_program, clear_trace_memo, load_trace
+from repro.vm.machine import Machine
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.2"))
+TRACE_NAMES = ("compress", "pointer_chase", "interp", "hash_dict")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_bench_interpreter_vs_predecoded(benchmark):
+    """Trace generation across four kernels: if/elif interpreter vs the
+    predecoded dispatch path (the tentpole's >= 2x target)."""
+    programs = [build_program(name, scale=SCALE) for name in TRACE_NAMES]
+    # Warm once so first-touch allocator effects hit neither side.
+    for program in programs:
+        Machine(program).run()
+
+    interp_traces, interp_s = _timed(
+        lambda: [Machine(p, predecode=False).run() for p in programs]
+    )
+
+    fast_traces = None
+
+    def predecoded_pass():
+        nonlocal fast_traces
+        fast_traces = [Machine(p).run() for p in programs]
+
+    benchmark.pedantic(predecoded_pass, rounds=1, iterations=1)
+    fast_s = benchmark.stats.stats.mean
+
+    for slow, fast in zip(interp_traces, fast_traces):
+        assert [r.signature() for r in fast.records] == [
+            r.signature() for r in slow.records
+        ], "predecoded trace must be bit-identical to the interpreter's"
+
+    insts = sum(len(t) for t in fast_traces)
+    speedup = interp_s / fast_s if fast_s else 0.0
+    benchmark.extra_info.update({
+        "kernels": ",".join(TRACE_NAMES),
+        "dynamic_insts": insts,
+        "interpreter_seconds": round(interp_s, 4),
+        "predecoded_seconds": round(fast_s, 4),
+        "predecode_speedup": round(speedup, 3),
+        "predecoded_insts_per_second": round(insts / fast_s) if fast_s else 0,
+    })
+    print(f"\ninterpreter {interp_s:.3f}s, predecoded {fast_s:.3f}s: "
+          f"{speedup:.2f}x over {insts:,} insts")
+    assert speedup >= 2.0, (
+        f"predecoded dispatch only {speedup:.2f}x over the interpreter"
+    )
+
+
+def test_bench_cold_vs_warm_trace_cache(benchmark, tmp_path, monkeypatch):
+    """Suite loading wall-clock: VM execution (cold) vs packed-trace
+    deserialization (warm), through the real load_trace path."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "1")
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "traces"))
+    clear_trace_memo()
+
+    before = suite.trace_counters().snapshot()
+    _, cold_s = _timed(
+        lambda: [load_trace(name, scale=SCALE) for name in TRACE_NAMES]
+    )
+    cold_delta = suite.trace_counters().since(before)
+    assert cold_delta["traces_generated"] == len(TRACE_NAMES)
+
+    clear_trace_memo()  # cold process, warm disk
+    warm_traces = None
+
+    def warm_pass():
+        nonlocal warm_traces
+        warm_traces = [load_trace(name, scale=SCALE) for name in TRACE_NAMES]
+
+    benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+    warm_s = benchmark.stats.stats.mean
+
+    warm_delta = suite.trace_counters().since(before)
+    assert warm_delta["traces_generated"] == len(TRACE_NAMES), \
+        "warm pass must not re-execute the VM"
+    assert warm_delta["traces_loaded"] == len(TRACE_NAMES)
+    clear_trace_memo()
+
+    speedup = cold_s / warm_s if warm_s else 0.0
+    benchmark.extra_info.update({
+        "kernels": ",".join(TRACE_NAMES),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "trace_cache_speedup": round(speedup, 3),
+    })
+    print(f"\ncold {cold_s:.3f}s, warm {warm_s:.3f}s: {speedup:.2f}x")
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("cache speedup noisy on constrained machines; recorded")
+    assert speedup >= 1.5, f"trace cache only {speedup:.2f}x faster"

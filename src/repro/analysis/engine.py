@@ -30,6 +30,9 @@ Environment knobs (read when the shared engine is created):
   = one per CPU).
 * ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro-cache``).
+* ``REPRO_TRACE_CACHE`` / ``REPRO_TRACE_CACHE_DIR`` — the trace
+  factory's on-disk cache (see :mod:`repro.workloads.suite`), warmed
+  by the engine before fan-out so cold workers never re-execute the VM.
 """
 
 from __future__ import annotations
@@ -50,7 +53,7 @@ from repro.core.pipeline import Pipeline
 from repro.core.stats import STATS_SCHEMA_VERSION, SimStats
 from repro.errors import EngineError
 from repro.vm.trace import Trace
-from repro.workloads.suite import load_trace
+from repro.workloads.suite import load_trace, trace_counters, warm_trace_cache
 
 #: Bump to invalidate every cached result regardless of code changes
 #: (e.g. when the cache file layout itself changes).
@@ -200,6 +203,10 @@ class EngineCounters:
     job_seconds: float = 0.0
     max_job_seconds: float = 0.0
     engine_seconds: float = 0.0
+    traces_generated: int = 0
+    traces_loaded: int = 0
+    trace_gen_seconds: float = 0.0
+    trace_load_seconds: float = 0.0
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -213,6 +220,10 @@ class EngineCounters:
             "job_seconds": round(self.job_seconds, 6),
             "max_job_seconds": round(self.max_job_seconds, 6),
             "engine_seconds": round(self.engine_seconds, 6),
+            "traces_generated": self.traces_generated,
+            "traces_loaded": self.traces_loaded,
+            "trace_gen_seconds": round(self.trace_gen_seconds, 6),
+            "trace_load_seconds": round(self.trace_load_seconds, 6),
         }
 
     def since(self, before: dict[str, float]) -> dict[str, float]:
@@ -305,10 +316,11 @@ class ExperimentEngine:
             pending.append(index)
 
         if pending:
+            trace_before = trace_counters().snapshot()
+            pending_jobs = [jobs[index] for index in pending]
+            self._warm_traces(pending_jobs)
             workers = self._resolve_workers(workers, len(pending))
-            outcomes = self._execute_pending(
-                [jobs[index] for index in pending], workers
-            )
+            outcomes = self._execute_pending(pending_jobs, workers)
             failures: list[JobFailure] = []
             for index, outcome in zip(pending, outcomes):
                 status, payload, wall = outcome
@@ -326,6 +338,11 @@ class ExperimentEngine:
                     failure = JobFailure(job=job, error=payload)
                     failures.append(failure)
                     results[index] = failure
+            trace_delta = trace_counters().since(trace_before)
+            counters.traces_generated += int(trace_delta["traces_generated"])
+            counters.traces_loaded += int(trace_delta["traces_loaded"])
+            counters.trace_gen_seconds += trace_delta["trace_gen_seconds"]
+            counters.trace_load_seconds += trace_delta["trace_load_seconds"]
             if failures and raise_on_error:
                 first = failures[0]
                 raise EngineError(
@@ -353,6 +370,30 @@ class ExperimentEngine:
 
     # ------------------------------------------------------------------
     # Execution strategies.
+
+    def _warm_traces(self, jobs: Sequence[SimJob]) -> None:
+        """Ensure the on-disk trace cache covers *jobs* before fan-out.
+
+        Generating each distinct trace once here (and packing it to
+        disk) means cold worker processes deserialize instead of
+        re-executing the VM. Warming is best-effort: a workload that
+        cannot be cached simply regenerates in the worker, and any
+        warming failure surfaces later as a per-job error with a full
+        traceback.
+        """
+        seen: set[tuple[str, float, int | None]] = set()
+        for job in jobs:
+            if not job.cacheable:
+                continue
+            identity = (job.trace_name, float(job.scale), job.seed)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            try:
+                warm_trace_cache(job.trace_name, scale=job.scale,
+                                 seed=job.seed)
+            except Exception:
+                pass
 
     def _resolve_workers(self, workers: int | None, pending: int) -> int:
         if workers is None:

@@ -40,7 +40,7 @@ from repro.errors import SimulationError
 from repro.frontend.fetch import FrontEnd
 from repro.isa.opcodes import OpClass
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.predict.degree_of_use import DegreeOfUsePredictor, compute_fcf
+from repro.predict.degree_of_use import DegreeOfUsePredictor
 from repro.regfile.backing import BackingFile
 from repro.regfile.indexing import make_index_policy
 from repro.regfile.insertion import WriteContext, make_insertion_policy
@@ -194,7 +194,9 @@ class Pipeline:
                 assoc=config.predictor_assoc,
                 wrongpath_noise=config.wrongpath_use_noise,
             )
-        self.fcf = compute_fcf(trace)
+        # Trace-invariant precompute, shared (and disk-cached) across
+        # every configuration simulating this trace.
+        self.fcf = trace.analysis().fcf
 
         self.memory = MemoryHierarchy() if config.model_memory else None
         icache = self.memory if (self.memory and config.model_icache) else None

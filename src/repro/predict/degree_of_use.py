@@ -26,15 +26,18 @@ from __future__ import annotations
 
 import random
 
-from repro.vm.trace import Trace
+from repro.vm.trace import DEFAULT_FCF_BITS, Trace
+from repro.vm.trace import compute_fcf as _compute_fcf
 
 #: Number of future conditional-branch directions hashed into the index.
 #: The paper's predictor stores a 6-bit future-control-flow field; we
 #: fold fewer bits by default because our kernels' static footprints are
 #: tiny and data-dependent inner-loop trip counts otherwise fragment
 #: training across many patterns, depressing coverage far below the
-#: paper's (see DESIGN.md fidelity notes).
-FCF_BITS = 3
+#: paper's (see DESIGN.md fidelity notes). The canonical value lives in
+#: :data:`repro.vm.trace.DEFAULT_FCF_BITS` so the trace factory can
+#: precompute (and cache) the hash alongside each trace.
+FCF_BITS = DEFAULT_FCF_BITS
 
 
 def compute_fcf(trace: Trace) -> list[int]:
@@ -42,17 +45,11 @@ def compute_fcf(trace: Trace) -> list[int]:
 
     ``fcf[i]`` encodes the directions of the first :data:`FCF_BITS`
     conditional branches strictly after position ``i`` (most imminent
-    branch in the least-significant bit).
+    branch in the least-significant bit). Delegates to the trace-factory
+    implementation (:func:`repro.vm.trace.compute_fcf`); prefer
+    ``trace.analysis().fcf`` which computes it once and caches it.
     """
-    mask = (1 << FCF_BITS) - 1
-    fcf = [0] * len(trace.records)
-    rolling = 0
-    for index in range(len(trace.records) - 1, -1, -1):
-        fcf[index] = rolling
-        record = trace.records[index]
-        if record.is_conditional:
-            rolling = ((rolling << 1) | int(record.taken)) & mask
-    return fcf
+    return _compute_fcf(trace, FCF_BITS)
 
 
 class _Entry:

@@ -5,6 +5,19 @@ level and emits the committed dynamic instruction trace consumed by the
 timing model. It plays the role SimpleScalar's functional core plays in
 the paper's infrastructure.
 
+Two execution paths produce bit-identical traces:
+
+* the **predecoded fast path** (default): each static instruction is
+  decoded once into a specialized step closure — operand indices, the
+  immediate, the opcode's value function, and the shared
+  :func:`~repro.vm.trace.static_meta` tuple are all bound at decode
+  time — so the per-step work is one dispatch-table index, the
+  arithmetic itself, and a fast :meth:`DynamicInst.from_decoded`
+  record build;
+* the **reference interpreter** (``predecode=False``): the original
+  if/elif opcode chain, kept as the semantic reference for equivalence
+  tests and the trace-factory benchmark.
+
 All arithmetic is 64-bit two's complement. Memory is word-addressed
 (a flat ``dict`` of word address -> value) which is sufficient because the
 timing model only needs addresses, not byte-level layout.
@@ -12,21 +25,93 @@ timing model only needs addresses, not byte-level layout.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 from repro.errors import ExecutionError, ExecutionLimitExceeded
 from repro.isa.instruction import NUM_ARCH_REGS, ZERO_REG
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
-from repro.vm.trace import DynamicInst, Trace
+from repro.vm.trace import DynamicInst, Trace, static_meta
 
 _MASK = (1 << 64) - 1
 _SIGN = 1 << 63
+_TWO64 = 1 << 64
 
 
 def _to_signed(value: int) -> int:
     value &= _MASK
-    return value - (1 << 64) if value & _SIGN else value
+    return value - _TWO64 if value & _SIGN else value
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """Sign-correct truncating 64-bit division; division by zero -> -1.
+
+    Exact for the full 64-bit range (Python's float-division shortcut
+    loses precision beyond 2^53). The lone overflow case,
+    ``-2^63 / -1``, wraps to ``-2^63`` as two's-complement hardware does.
+    """
+    if b == 0:
+        return -1
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return _to_signed(quotient)
+
+
+def _rem_trunc(a: int, b: int) -> int:
+    """Truncating remainder (sign follows the dividend); ``b == 0 -> a``."""
+    if b == 0:
+        return a
+    remainder = abs(a) % abs(b)
+    return -remainder if a < 0 else remainder
+
+
+# ----------------------------------------------------------------------
+# Per-opcode value functions for the predecoded path. Each implements
+# exactly the arithmetic of the reference interpreter below.
+
+_ts = _to_signed
+
+_ALU2: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: _ts(a + b),
+    Opcode.SUB: lambda a, b: _ts(a - b),
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: _ts(a << (b & 63)),
+    Opcode.SRL: lambda a, b: (a & _MASK) >> (b & 63),
+    Opcode.SRA: lambda a, b: a >> (b & 63),
+    Opcode.SLT: lambda a, b: 1 if a < b else 0,
+    Opcode.SLTU: lambda a, b: 1 if (a & _MASK) < (b & _MASK) else 0,
+    Opcode.MUL: lambda a, b: _ts(a * b),
+    Opcode.MULH: lambda a, b: _ts((a * b) >> 64),
+    Opcode.DIV: _div_trunc,
+    Opcode.REM: _rem_trunc,
+    # FP ops are modelled on integer state; only latency matters to the
+    # timing model. Division by zero saturates.
+    Opcode.FADD: lambda a, b: _ts(a + b),
+    Opcode.FSUB: lambda a, b: _ts(a - b),
+    Opcode.FMUL: lambda a, b: _ts(a * b),
+    Opcode.FDIV: lambda a, b: _ts(int(a / b)) if b else 0,
+}
+
+_ALU1: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADDI: lambda a, imm: _ts(a + imm),
+    Opcode.ANDI: lambda a, imm: a & imm,
+    Opcode.ORI: lambda a, imm: a | imm,
+    Opcode.XORI: lambda a, imm: a ^ imm,
+    Opcode.SLLI: lambda a, imm: _ts(a << (imm & 63)),
+    Opcode.SRLI: lambda a, imm: (a & _MASK) >> (imm & 63),
+    Opcode.SLTI: lambda a, imm: 1 if a < imm else 0,
+    Opcode.MOV: lambda a, imm: a,
+}
+
+_COND: dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}
 
 
 class Machine:
@@ -37,9 +122,16 @@ class Machine:
         max_instructions: dynamic instruction budget; exceeding it raises
             :class:`ExecutionLimitExceeded` (guards against runaway loops
             in workload generators).
+        predecode: use the predecoded fast dispatch path (default); pass
+            ``False`` for the reference if/elif interpreter.
     """
 
-    def __init__(self, program: Program, max_instructions: int = 5_000_000):
+    def __init__(
+        self,
+        program: Program,
+        max_instructions: int = 5_000_000,
+        predecode: bool = True,
+    ):
         program.validate()
         self.program = program
         self.max_instructions = max_instructions
@@ -49,13 +141,20 @@ class Machine:
         self.halted = False
         self.output: list[int] = []
         self._seq = 0
+        self._handlers: list[Callable] | None = None
+        if predecode:
+            self._handlers = [
+                self._compile_handler(pc, inst)
+                for pc, inst in enumerate(program.instructions)
+            ]
 
     # ------------------------------------------------------------------
     # Execution
-    # ------------------------------------------------------------------
 
     def run(self) -> Trace:
         """Execute until HALT and return the full committed trace."""
+        if self._handlers is not None:
+            return Trace(self._run_predecoded(), name=self.program.name)
         return Trace(list(self.step_all()), name=self.program.name)
 
     def step_all(self) -> Iterator[DynamicInst]:
@@ -81,6 +180,202 @@ class Machine:
             raise ExecutionError(
                 f"{self.program.name}: pc {self.pc} out of range"
             )
+        if self._handlers is not None:
+            record, next_pc = self._handlers[self.pc](self._seq)
+            self._seq += 1
+            if next_pc is None:
+                self.halted = True
+                self.pc += 1
+            else:
+                self.pc = next_pc
+            return record
+        return self._step_interpret()
+
+    def _run_predecoded(self) -> list[DynamicInst]:
+        """Hot loop of the predecoded path: dispatch, append, advance."""
+        if self.halted:
+            raise ExecutionError("machine is halted")
+        handlers = self._handlers
+        num_static = len(handlers)
+        limit = self.max_instructions
+        records: list[DynamicInst] = []
+        append = records.append
+        seq = self._seq
+        pc = self.pc
+        while True:
+            if seq >= limit or not 0 <= pc < num_static:
+                self._seq = seq
+                self.pc = pc
+                if seq >= limit:
+                    raise ExecutionLimitExceeded(
+                        f"{self.program.name}: exceeded budget of "
+                        f"{limit} instructions"
+                    )
+                raise ExecutionError(
+                    f"{self.program.name}: pc {pc} out of range"
+                )
+            record, next_pc = handlers[pc](seq)
+            append(record)
+            seq += 1
+            if next_pc is None:
+                self.halted = True
+                self._seq = seq
+                self.pc = pc + 1
+                return records
+            pc = next_pc
+
+    # ------------------------------------------------------------------
+    # Predecode: one specialized closure per static instruction.
+
+    def _compile_handler(self, pc: int, inst) -> Callable:
+        """Compile one static instruction into its step closure.
+
+        Each closure takes the dynamic sequence number and returns
+        ``(record, next_pc)``; ``next_pc`` of ``None`` means HALT. All
+        operand state is bound through default arguments (locals, not
+        cells) so the hot path touches no ``self`` attributes.
+        """
+        op = inst.opcode
+        regs = self.regs
+        memory = self.memory
+        decoded = static_meta(pc, inst)
+        new = DynamicInst.from_decoded
+        dest = inst.dest if inst.dest not in (None, ZERO_REG) else None
+        s1 = inst.src1
+        s2 = inst.src2
+        imm = inst.imm
+        nxt = pc + 1
+
+        val2 = _ALU2.get(op)
+        if val2 is not None:
+            if dest is None:  # result discarded (zero-register write)
+                def handler(seq, dec=decoded, new=new, nxt=nxt):
+                    return new(dec, seq, False, -1, None, None), nxt
+            else:
+                def handler(seq, regs=regs, s1=s1, s2=s2, d=dest,
+                            val=val2, dec=decoded, new=new, nxt=nxt):
+                    result = val(regs[s1], regs[s2])
+                    regs[d] = result
+                    return new(dec, seq, False, -1, None, result), nxt
+            return handler
+
+        val1 = _ALU1.get(op)
+        if val1 is not None:
+            if dest is None:
+                def handler(seq, dec=decoded, new=new, nxt=nxt):
+                    return new(dec, seq, False, -1, None, None), nxt
+            else:
+                def handler(seq, regs=regs, s1=s1, imm=imm, d=dest,
+                            val=val1, dec=decoded, new=new, nxt=nxt):
+                    result = val(regs[s1], imm)
+                    regs[d] = result
+                    return new(dec, seq, False, -1, None, result), nxt
+            return handler
+
+        cond = _COND.get(op)
+        if cond is not None:
+            def handler(seq, regs=regs, s1=s1, s2=s2, imm=imm,
+                        cond=cond, dec=decoded, new=new, nxt=nxt):
+                if cond(regs[s1], regs[s2]):
+                    return new(dec, seq, True, imm, None, None), imm
+                return new(dec, seq, False, nxt, None, None), nxt
+            return handler
+
+        if op is Opcode.LUI:
+            constant = _to_signed(imm << 16)
+            if dest is None:
+                def handler(seq, dec=decoded, new=new, nxt=nxt):
+                    return new(dec, seq, False, -1, None, None), nxt
+            else:
+                def handler(seq, regs=regs, d=dest, c=constant,
+                            dec=decoded, new=new, nxt=nxt):
+                    regs[d] = c
+                    return new(dec, seq, False, -1, None, c), nxt
+            return handler
+
+        if op in (Opcode.LW, Opcode.LB):
+            low_byte = op is Opcode.LB
+            def handler(seq, regs=regs, memory=memory, s1=s1, imm=imm,
+                        d=dest, lb=low_byte, dec=decoded, new=new, nxt=nxt):
+                addr = (regs[s1] + imm) & _MASK
+                if addr & _SIGN:
+                    addr -= _TWO64
+                result = memory.get(addr, 0)
+                if lb:
+                    result &= 0xFF
+                if d is None:
+                    return new(dec, seq, False, -1, addr, None), nxt
+                regs[d] = result
+                return new(dec, seq, False, -1, addr, result), nxt
+            return handler
+
+        if op in (Opcode.SW, Opcode.SB):
+            low_byte = op is Opcode.SB
+            def handler(seq, regs=regs, memory=memory, s1=s1, s2=s2,
+                        imm=imm, lb=low_byte, dec=decoded, new=new, nxt=nxt):
+                addr = (regs[s1] + imm) & _MASK
+                if addr & _SIGN:
+                    addr -= _TWO64
+                memory[addr] = regs[s2] & 0xFF if lb else regs[s2]
+                return new(dec, seq, False, -1, addr, None), nxt
+            return handler
+
+        if op is Opcode.JAL:
+            link = pc + 1
+            def handler(seq, regs=regs, d=dest, link=link, imm=imm,
+                        dec=decoded, new=new):
+                if d is None:
+                    return new(dec, seq, True, imm, None, None), imm
+                regs[d] = link
+                return new(dec, seq, True, imm, None, link), imm
+            return handler
+
+        if op is Opcode.JALR:
+            link = pc + 1
+            def handler(seq, regs=regs, s1=s1, imm=imm, d=dest, link=link,
+                        dec=decoded, new=new):
+                target = (regs[s1] + imm) & _MASK
+                if target & _SIGN:
+                    target -= _TWO64
+                if d is not None:
+                    regs[d] = link
+                return new(
+                    dec, seq, True, target, None,
+                    link if d is not None else None,
+                ), target
+            return handler
+
+        if op is Opcode.RET:
+            def handler(seq, regs=regs, s1=s1, dec=decoded, new=new):
+                target = regs[s1]
+                return new(dec, seq, True, target, None, None), target
+            return handler
+
+        if op is Opcode.NOP:
+            def handler(seq, dec=decoded, new=new, nxt=nxt):
+                return new(dec, seq, False, -1, None, None), nxt
+            return handler
+
+        if op is Opcode.HALT:
+            def handler(seq, dec=decoded, new=new):
+                return new(dec, seq, False, -1, None, None), None
+            return handler
+
+        if op is Opcode.OUT:
+            output = self.output
+            def handler(seq, regs=regs, s1=s1, out=output,
+                        dec=decoded, new=new, nxt=nxt):
+                out.append(regs[s1])
+                return new(dec, seq, False, -1, None, None), nxt
+            return handler
+
+        raise ExecutionError(f"unimplemented opcode {op}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Reference interpreter (semantic ground truth).
+
+    def _step_interpret(self) -> DynamicInst:
+        """One step of the original if/elif interpreter."""
         pc = self.pc
         inst = self.program[pc]
         op = inst.opcode
@@ -137,9 +432,9 @@ class Machine:
         elif op is Opcode.MULH:
             result = _to_signed((src1 * src2) >> 64)
         elif op is Opcode.DIV:
-            result = _to_signed(int(src1 / src2)) if src2 else -1
+            result = _div_trunc(src1, src2)
         elif op is Opcode.REM:
-            result = _to_signed(src1 - src2 * int(src1 / src2)) if src2 else src1
+            result = _rem_trunc(src1, src2)
         elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
             # FP ops are modelled on integer state; only latency matters
             # to the timing model. Division by zero saturates.
@@ -208,6 +503,13 @@ class Machine:
         return record
 
 
-def run_program(program: Program, max_instructions: int = 5_000_000) -> Trace:
+def run_program(
+    program: Program,
+    max_instructions: int = 5_000_000,
+    predecode: bool = True,
+) -> Trace:
     """Convenience wrapper: execute *program* and return its trace."""
-    return Machine(program, max_instructions=max_instructions).run()
+    machine = Machine(
+        program, max_instructions=max_instructions, predecode=predecode
+    )
+    return machine.run()

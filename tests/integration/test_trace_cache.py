@@ -1,0 +1,167 @@
+"""The on-disk trace cache: correctness, invalidation, and repair.
+
+The contract under test is the trace factory's promise to the engine:
+a cached load is bit-identical to fresh VM execution, cache identity
+follows the kernel/ISA/VM sources (an edit anywhere invalidates), and a
+corrupted entry is silently regenerated and repaired — never served and
+never fatal.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.analysis.engine import ExperimentEngine, SimJob
+from repro.core.config import use_based_config
+from repro.workloads import suite
+from repro.workloads.suite import (
+    _hash_tree,
+    _trace_key,
+    _trace_path,
+    clear_trace_memo,
+    load_trace,
+    warm_trace_cache,
+)
+
+SCALE = 0.06
+
+
+@pytest.fixture
+def trace_cache(tmp_path, monkeypatch):
+    """Route the trace cache to a fresh directory, with a cold memo."""
+    cache_dir = tmp_path / "traces"
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "1")
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(cache_dir))
+    clear_trace_memo()
+    yield cache_dir
+    clear_trace_memo()
+
+
+def _signatures(trace):
+    return [record.signature() for record in trace]
+
+
+def test_cached_load_bit_identical_to_fresh_execution(trace_cache):
+    fresh = load_trace("compress", scale=SCALE)
+    path = _trace_path(_trace_key("compress", SCALE, None))
+    assert path.is_file()  # generation stored the packed trace
+
+    clear_trace_memo()  # force the next load through the disk cache
+    before = suite.trace_counters().snapshot()
+    cached = load_trace("compress", scale=SCALE)
+    delta = suite.trace_counters().since(before)
+    assert delta["traces_loaded"] == 1
+    assert delta["traces_generated"] == 0
+
+    assert cached is not fresh
+    assert _signatures(cached) == _signatures(fresh)
+    assert cached.provenance == fresh.provenance
+    assert cached.degree_of_use_histogram() == fresh.degree_of_use_histogram()
+
+
+def test_cache_key_tracks_source_fingerprint(tmp_path):
+    """Editing any fingerprinted source must change the cache address."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    kernel = root / "kernel.py"
+    kernel.write_text("A = 1\n")
+
+    def fingerprint():
+        digest = hashlib.sha256()
+        _hash_tree(root, digest)
+        return digest.hexdigest()
+
+    before = fingerprint()
+    kernel.write_text("A = 2\n")
+    after_edit = fingerprint()
+    assert after_edit != before  # content feeds the hash
+    (root / "extra.py").write_text("")
+    assert fingerprint() != after_edit  # new files feed it too
+
+
+def test_trace_key_depends_on_fingerprint(monkeypatch):
+    key = _trace_key("compress", SCALE, None)
+    monkeypatch.setattr(
+        suite, "_trace_fingerprint", lambda: "0" * 64
+    )
+    assert _trace_key("compress", SCALE, None) != key
+
+
+def test_corrupted_cache_file_regenerated_and_repaired(trace_cache):
+    fresh = load_trace("compress", scale=SCALE)
+    path = _trace_path(_trace_key("compress", SCALE, None))
+    original = path.read_bytes()
+    path.write_bytes(original[: len(original) // 3])  # truncate mid-blob
+
+    clear_trace_memo()
+    before = suite.trace_counters().snapshot()
+    again = load_trace("compress", scale=SCALE)
+    delta = suite.trace_counters().since(before)
+    assert delta["traces_generated"] == 1  # corrupt entry never served
+    assert _signatures(again) == _signatures(fresh)
+    assert path.read_bytes() == original  # entry repaired on disk
+
+
+def test_warm_trace_cache_creates_disk_entry(trace_cache):
+    path = _trace_path(_trace_key("pointer_chase", SCALE, None))
+    assert not path.exists()
+    assert warm_trace_cache("pointer_chase", scale=SCALE)
+    assert path.is_file()
+    # Second warm is a no-op fast path (entry already on disk).
+    assert warm_trace_cache("pointer_chase", scale=SCALE)
+
+
+def test_warm_stores_even_when_memoized(trace_cache):
+    load_trace("hash_dict", scale=SCALE)  # memoized + stored
+    path = _trace_path(_trace_key("hash_dict", SCALE, None))
+    path.unlink()
+    assert warm_trace_cache("hash_dict", scale=SCALE)  # re-store from memo
+    assert path.is_file()
+
+
+def test_cache_disabled_by_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "traces"))
+    clear_trace_memo()
+    try:
+        load_trace("compress", scale=SCALE)
+        assert not (tmp_path / "traces").exists()
+        assert not warm_trace_cache("compress", scale=SCALE)
+    finally:
+        clear_trace_memo()
+
+
+def test_engine_second_run_avoids_all_vm_execution(trace_cache, tmp_path):
+    """Acceptance: with a warm trace cache, a cold-pool sweep performs
+    zero VM re-executions (trace-gen counter stays 0)."""
+    jobs = [
+        SimJob(config=use_based_config(), trace_name=name, scale=SCALE)
+        for name in ("compress", "pointer_chase")
+    ]
+    first = ExperimentEngine(workers=1, cache_dir=tmp_path / "r1")
+    first.run(jobs)
+    assert first.counters.traces_generated == 2
+    assert first.counters.trace_gen_seconds > 0
+
+    clear_trace_memo()  # model a cold worker pool
+    second = ExperimentEngine(workers=1, cache_dir=tmp_path / "r2")
+    second.run(jobs)
+    assert second.counters.traces_generated == 0
+    assert second.counters.traces_loaded == 2
+    assert second.counters.trace_load_seconds > 0
+
+
+def test_engine_counters_reach_experiment_meta(trace_cache, tmp_path,
+                                               monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", str(SCALE))
+    monkeypatch.setenv("REPRO_SUITE", "short")
+    from repro.analysis import experiments
+    from repro.analysis.engine import configure
+
+    configure(workers=1, cache_dir=tmp_path / "results")
+    try:
+        result = experiments.table2_metrics()
+    finally:
+        configure()
+    meta = result.meta["engine"]
+    assert meta["traces_generated"] + meta["traces_loaded"] > 0

@@ -50,6 +50,22 @@ def straight_line_programs(draw):
 
 @settings(max_examples=60, deadline=None)
 @given(program=straight_line_programs())
+def test_predecoded_path_matches_interpreter(program):
+    """The fast dispatch path commits exactly what the reference
+    interpreter commits, record for record and state for state."""
+    fast = Machine(program, max_instructions=1_000)
+    slow = Machine(program, max_instructions=1_000, predecode=False)
+    fast_trace = fast.run()
+    slow_trace = slow.run()
+    assert [r.signature() for r in fast_trace] == [
+        r.signature() for r in slow_trace
+    ]
+    assert fast.regs == slow.regs
+    assert fast.memory == slow.memory
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=straight_line_programs())
 def test_vm_executes_random_programs(program):
     machine = Machine(program, max_instructions=1_000)
     trace = machine.run()

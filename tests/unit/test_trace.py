@@ -1,10 +1,20 @@
-"""Unit tests for trace records and trace-level statistics."""
+"""Unit tests for trace records, trace-level statistics, and the
+trace factory's precompute + packed-serialization layer."""
+
+import pytest
 
 from repro.isa.assembler import assemble
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass, Opcode
 from repro.vm.machine import run_program
-from repro.vm.trace import DynamicInst, Trace
+from repro.vm.trace import (
+    DynamicInst,
+    Trace,
+    TraceAnalysis,
+    compute_fcf,
+    pack_trace,
+    unpack_trace,
+)
 
 
 def test_dynamic_inst_strips_zero_sources():
@@ -82,3 +92,133 @@ def test_trace_indexing_and_iteration():
     assert len(trace) == 2
     assert trace[0].pc == 0
     assert [r.pc for r in trace] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# TraceAnalysis: trace-invariant precompute, computed once.
+
+LOOPY = """
+    addi r1, r0, 3
+    addi r3, r0, 1000
+loop:
+    sw r1, 0(r3)
+    lw r2, 0(r3)
+    add r4, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    out r4
+    halt
+"""
+
+
+def test_analysis_computed_once_and_cached():
+    trace = run_program(assemble(LOOPY))
+    first = trace.analysis()
+    assert trace.analysis() is first  # memoized, not recomputed
+    assert first.branch_count == trace.branch_count()
+
+
+def test_analysis_matches_summary_methods():
+    trace = run_program(assemble(LOOPY))
+    analysis = trace.analysis()
+    assert analysis.mix == trace.mix()
+    assert analysis.histogram == trace.degree_of_use_histogram()
+    assert analysis.fcf == compute_fcf(trace)
+    assert (analysis.branch_count, analysis.load_count,
+            analysis.store_count) == (
+        trace.branch_count(), trace.load_count(), trace.store_count())
+
+
+def test_analysis_use_counts_align_with_histogram():
+    trace = run_program(assemble(LOOPY))
+    analysis = trace.analysis()
+    assert len(analysis.use_counts) == len(trace)
+    histogram = {}
+    for record, uses in zip(trace, analysis.use_counts):
+        if record.dest is None:
+            assert uses == -1
+        else:
+            assert uses >= 0
+            histogram[uses] = histogram.get(uses, 0) + 1
+    assert histogram == analysis.histogram
+
+
+def test_analysis_register_read_write_totals():
+    trace = run_program(assemble(LOOPY))
+    analysis = trace.analysis()
+    assert sum(analysis.reg_writes) == sum(
+        1 for r in trace if r.dest is not None
+    )
+    assert sum(analysis.reg_reads) == sum(len(r.sources) for r in trace)
+
+
+def test_summary_methods_return_copies():
+    trace = run_program(assemble(LOOPY))
+    trace.mix().clear()
+    trace.degree_of_use_histogram().clear()
+    assert trace.mix()  # internal state untouched
+    assert trace.degree_of_use_histogram()
+
+
+# ----------------------------------------------------------------------
+# Packed serialization.
+
+
+def _roundtrip(source):
+    program = assemble(source)
+    trace = run_program(program)
+    restored = unpack_trace(pack_trace(trace, trace.analysis()), program)
+    return trace, restored
+
+
+def test_pack_unpack_roundtrip_bit_identical():
+    trace, restored = _roundtrip(LOOPY)
+    assert [r.signature() for r in restored] == [
+        r.signature() for r in trace
+    ]
+    assert restored.name == trace.name
+
+
+def test_pack_unpack_preserves_analysis():
+    trace, restored = _roundtrip(LOOPY)
+    packed_analysis = restored._analysis
+    assert packed_analysis is not None  # restored, not lazily recomputed
+    fresh = trace.analysis()
+    assert packed_analysis.fcf == fresh.fcf
+    assert packed_analysis.use_counts == fresh.use_counts
+    assert packed_analysis.histogram == fresh.histogram
+    assert packed_analysis.mix == fresh.mix
+    assert packed_analysis.reg_reads == fresh.reg_reads
+
+
+def test_pack_without_analysis_recomputes_lazily():
+    program = assemble(LOOPY)
+    trace = run_program(program)
+    restored = unpack_trace(pack_trace(trace), program)
+    assert restored._analysis is None
+    assert restored.degree_of_use_histogram() == trace.degree_of_use_histogram()
+
+
+def test_pack_unpack_preserves_provenance():
+    program = assemble(LOOPY)
+    trace = run_program(program)
+    trace.provenance = ("loopy", 1.0, 7)
+    restored = unpack_trace(pack_trace(trace), program)
+    assert restored.provenance == ("loopy", 1.0, 7)
+
+
+def test_unpack_rejects_garbage_and_truncation():
+    program = assemble(LOOPY)
+    data = pack_trace(run_program(program))
+    with pytest.raises(ValueError):
+        unpack_trace(b"not a trace", program)
+    with pytest.raises(ValueError):
+        unpack_trace(data[: len(data) // 2], program)
+
+
+def test_unpack_rejects_mismatched_program():
+    program = assemble(LOOPY)
+    data = pack_trace(run_program(program))
+    other = assemble("nop\nhalt")
+    with pytest.raises(ValueError):
+        unpack_trace(data, other)

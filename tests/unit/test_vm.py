@@ -263,3 +263,142 @@ def test_64bit_wraparound():
         halt
     """)
     assert regs[3] == 0
+
+
+# ----------------------------------------------------------------------
+# DIV/REM at 64-bit extremes (regression: the float-division shortcut
+# silently lost precision for operands beyond 2^53) — exercised on both
+# execution paths.
+
+BOTH_PATHS = pytest.mark.parametrize("predecode", [True, False],
+                                     ids=["predecoded", "interpreted"])
+
+
+def _divrem_regs(source, predecode):
+    machine = Machine(assemble(source), predecode=predecode)
+    machine.run()
+    return machine.regs
+
+
+@BOTH_PATHS
+def test_div_rem_exact_beyond_float_precision(predecode):
+    # r1 = 2^62 + 3: far beyond the 2^53 float mantissa, so the old
+    # int(a / b) implementation truncated to the wrong quotient.
+    regs = _divrem_regs("""
+        addi r1, r0, 1
+        slli r1, r1, 62
+        addi r1, r1, 3
+        addi r2, r0, 3
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+    """, predecode)
+    assert regs[3] == (2**62 + 3) // 3
+    assert regs[4] == (2**62 + 3) % 3
+
+
+@BOTH_PATHS
+def test_div_rem_negative_truncates_toward_zero(predecode):
+    # Truncating semantics, not Python floor semantics: the quotient
+    # magnitude is |a| // |b| and the remainder takes the dividend sign.
+    regs = _divrem_regs("""
+        addi r1, r0, 1
+        slli r1, r1, 62
+        addi r1, r1, 5
+        sub r1, r0, r1
+        addi r2, r0, 3
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+    """, predecode)
+    a = -(2**62 + 5)
+    assert regs[3] == -(abs(a) // 3)
+    assert regs[4] == -(abs(a) % 3)
+
+
+@BOTH_PATHS
+def test_div_int_min_by_minus_one_wraps(predecode):
+    # The one overflowing case: -2^63 / -1 wraps to -2^63 like two's
+    # complement hardware; the matching remainder is zero.
+    regs = _divrem_regs("""
+        addi r1, r0, 1
+        slli r1, r1, 63
+        addi r2, r0, -1
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+    """, predecode)
+    assert regs[1] == -(2**63)
+    assert regs[3] == -(2**63)
+    assert regs[4] == 0
+
+
+@BOTH_PATHS
+def test_div_rem_by_zero_defined_at_extremes(predecode):
+    regs = _divrem_regs("""
+        addi r1, r0, 1
+        slli r1, r1, 63
+        div r3, r1, r0
+        rem r4, r1, r0
+        halt
+    """, predecode)
+    assert regs[3] == -1
+    assert regs[4] == -(2**63)  # remainder-by-zero preserves the dividend
+
+
+# ----------------------------------------------------------------------
+# Predecoded fast path vs. reference interpreter.
+
+
+def _full_state(machine):
+    return (machine.regs, machine.memory, machine.output, machine.pc,
+            machine.halted)
+
+
+def assert_paths_identical(program, max_instructions=5_000_000):
+    fast = Machine(program, max_instructions=max_instructions)
+    slow = Machine(program, max_instructions=max_instructions,
+                   predecode=False)
+    fast_trace = fast.run()
+    slow_trace = slow.run()
+    assert len(fast_trace) == len(slow_trace)
+    for a, b in zip(fast_trace, slow_trace):
+        assert a.signature() == b.signature()
+    assert _full_state(fast) == _full_state(slow)
+
+
+def test_predecode_matches_interpreter_on_control_flow():
+    # r1 stays free: the assembler's bare jal/ret use it as link register.
+    assert_paths_identical(assemble("""
+        addi r6, r0, 4
+        addi r3, r0, 1000
+    loop:
+        sw r6, 0(r3)
+        lb r2, 0(r3)
+        jal helper
+        addi r6, r6, -1
+        bne r6, r0, loop
+        out r2
+        halt
+    helper:
+        addi r2, r2, 1
+        ret
+    """))
+
+
+def test_predecode_matches_interpreter_on_full_suite():
+    """Bit-identical traces on every kernel in the registry."""
+    from repro.workloads.suite import benchmark_names, build_program
+
+    for name in benchmark_names():
+        assert_paths_identical(build_program(name, scale=0.05))
+
+
+def test_predecode_budget_and_pc_guards_match():
+    looping = assemble("loop:\n  beq r0, r0, loop")
+    with pytest.raises(ExecutionLimitExceeded):
+        Machine(looping, max_instructions=50).run()
+    escaping = assemble("beq r0, r0, 99\nnop\nhalt")
+    escaping.labels.clear()
+    with pytest.raises(ExecutionError, match="out of range"):
+        Machine(escaping).run()
