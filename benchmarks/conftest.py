@@ -7,6 +7,12 @@ qualitative shape.
 
 Workload scale is controlled with ``REPRO_SCALE`` (default 0.2 here to
 keep the full harness to a few minutes) and ``REPRO_SUITE``.
+
+**Regression gating:** set ``REPRO_BENCH_BASELINE=<old BENCH_*.json>``
+while also passing ``--benchmark-json=<new path>`` and the session runs
+``repro.analysis.obs``'s compare gate over the freshly written JSON at
+exit, failing the session (exit code 1) on a regression. This turns the
+recorded ``BENCH_*.json`` trajectory into an enforceable contract.
 """
 
 import os
@@ -37,3 +43,37 @@ def run_experiment(benchmark):
         return result
 
     return runner
+
+
+def _benchmark_json_path(config) -> str | None:
+    """The ``--benchmark-json`` target path, if one was requested."""
+    target = getattr(config.option, "benchmark_json", None)
+    if target is None:
+        return None
+    # pytest-benchmark stores an open file object (argparse FileType).
+    return getattr(target, "name", None) or (
+        target if isinstance(target, str) else None
+    )
+
+
+@pytest.hookimpl(trylast=True)  # after pytest-benchmark writes its JSON
+def pytest_sessionfinish(session, exitstatus):
+    baseline = os.environ.get("REPRO_BENCH_BASELINE")
+    if not baseline:
+        return
+    current = _benchmark_json_path(session.config)
+    if not current or not os.path.exists(current):
+        return
+    from repro.analysis.obs import compare_files
+
+    try:
+        regressions, compared = compare_files(baseline, current)
+    except (OSError, ValueError) as error:
+        print(f"\nbench gate: skipped ({error})")
+        return
+    print(f"\nbench gate: {compared} metrics vs {baseline}, "
+          f"{len(regressions)} regressions")
+    for regression in regressions:
+        print(f"  {regression}")
+    if regressions:
+        session.exitstatus = 1

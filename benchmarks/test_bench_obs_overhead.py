@@ -1,0 +1,72 @@
+"""Observability overhead budget on a single-trace pipeline run.
+
+Acceptance criteria for the `repro.obs` subsystem: with the metrics
+registry **enabled** a pipeline run may cost at most 5% more wall-clock
+than a run with observability fully off; with the registry **disabled**
+at most 1% (plus a small absolute epsilon to absorb timer noise). The
+design makes this easy — publishing is one bulk fold at end of run —
+but the budget is asserted here so a future per-cycle publish sneaking
+into the hot loop fails the bench.
+"""
+
+import time
+
+from repro.core.config import use_based_config
+from repro.core.pipeline import Pipeline
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.suite import load_trace
+
+ROUNDS = 7
+#: Absolute slack (seconds) so sub-millisecond timer jitter on the
+#: near-identical paths cannot flake the 1% budget.
+EPSILON = 0.003
+
+
+def test_bench_metrics_registry_overhead(benchmark):
+    trace = load_trace("compress", scale=0.3)
+    config = use_based_config()
+    enabled_registry = MetricsRegistry(enabled=True)
+    disabled_registry = MetricsRegistry(enabled=False)
+
+    modes = {
+        "off": lambda: Pipeline(
+            trace, config, tracer=None, metrics=None,
+        ).run(),
+        "disabled": lambda: Pipeline(
+            trace, config, tracer=None, metrics=disabled_registry,
+        ).run(),
+        "enabled": lambda: Pipeline(
+            trace, config, tracer=None, metrics=enabled_registry,
+        ).run(),
+    }
+    for fn in modes.values():  # warmup: traces, caches, JIT-free but fair
+        fn()
+
+    # Interleave rounds so clock drift and cache state hit every mode
+    # equally; compare best-of-N, the standard low-noise estimator.
+    times = {name: [] for name in modes}
+    for _ in range(ROUNDS):
+        for name, fn in modes.items():
+            start = time.perf_counter()
+            fn()
+            times[name].append(time.perf_counter() - start)
+    best = {name: min(samples) for name, samples in times.items()}
+
+    benchmark.extra_info["obs_overhead"] = {
+        name: round(value, 6) for name, value in best.items()
+    }
+    benchmark.extra_info["enabled_ratio"] = round(
+        best["enabled"] / best["off"], 4
+    )
+    benchmark.pedantic(modes["enabled"], rounds=1, iterations=1)
+
+    assert best["disabled"] <= best["off"] * 1.01 + EPSILON, (
+        f"disabled metrics registry cost >1%: {best}"
+    )
+    assert best["enabled"] <= best["off"] * 1.05 + EPSILON, (
+        f"enabled metrics registry cost >5%: {best}"
+    )
+    # And the enabled run actually published something.
+    snapshot = enabled_registry.snapshot()
+    assert any(key.startswith("sim.ipc") for key in snapshot)
+    assert any(key.startswith("rc.") for key in snapshot)

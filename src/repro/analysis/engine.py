@@ -21,8 +21,14 @@ of ``(MachineConfig, trace)`` pairs. This module owns that execution:
   traceback) rather than poisoning the whole sweep; by default the
   first failure re-raises as :class:`~repro.errors.EngineError`.
 * **Observability** — the engine counts jobs, cache hits/misses, and
-  per-job wall-clock so experiment results and bench JSONs can track
-  the perf trajectory of the harness itself.
+  per-job wall-clock (including p50/p95) so experiment results and
+  bench JSONs can track the perf trajectory of the harness itself; it
+  logs live progress (jobs done/total, ETA, cache hit rate) through
+  :mod:`repro.obs.log`; and every run appends per-job records — job
+  identity, config hash, trace provenance, cache hit/miss, wall-clock,
+  worker pid, failure traceback — to a JSONL manifest under the cache
+  directory (:mod:`repro.obs.manifest`), which the regression gate
+  (``python -m repro.analysis.obs``) summarizes and diffs.
 
 Environment knobs (read when the shared engine is created):
 
@@ -30,6 +36,10 @@ Environment knobs (read when the shared engine is created):
   = one per CPU).
 * ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro-cache``).
+* ``REPRO_MANIFEST`` — ``0`` disables run manifests; a path overrides
+  the default ``<cache_dir>/manifest.jsonl``.
+* ``REPRO_LOG_LEVEL`` — progress/diagnostic logging level (the engine
+  logs at INFO).
 * ``REPRO_TRACE_CACHE`` / ``REPRO_TRACE_CACHE_DIR`` — the trace
   factory's on-disk cache (see :mod:`repro.workloads.suite`), warmed
   by the engine before fan-out so cold workers never re-execute the VM.
@@ -38,13 +48,15 @@ Environment knobs (read when the shared engine is created):
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pickle
 import time
 import traceback
+import uuid
 from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -52,8 +64,17 @@ from repro.core.config import MachineConfig
 from repro.core.pipeline import Pipeline
 from repro.core.stats import STATS_SCHEMA_VERSION, SimStats
 from repro.errors import EngineError
+from repro.obs.log import ProgressReporter, get_logger
+from repro.obs.manifest import ManifestWriter, manifest_path_for
+from repro.obs.metrics import Histogram, get_metrics
 from repro.vm.trace import Trace
 from repro.workloads.suite import load_trace, trace_counters, warm_trace_cache
+
+_log = get_logger("engine")
+
+#: Monotonic discriminator so concurrent same-process cache writers
+#: (threads) never collide on a tmp-file name.
+_tmp_counter = itertools.count()
 
 #: Bump to invalidate every cached result regardless of code changes
 #: (e.g. when the cache file layout itself changes).
@@ -169,24 +190,33 @@ class JobFailure:
         return False
 
 
-def _execute_job(job: SimJob) -> tuple[str, object, float]:
+def _execute_job(job: SimJob) -> tuple[str, object, float, int]:
     """Run one job; never raises (worker-side error capture).
 
-    Returns ``("ok", SimStats, wall_seconds)`` or ``("error",
-    traceback_text, wall_seconds)``. Runs in worker processes, so it
-    must stay module-level (picklable by reference).
+    Returns ``("ok", SimStats, wall_seconds, worker_pid)`` or
+    ``("error", traceback_text, wall_seconds, worker_pid)``. Runs in
+    worker processes, so it must stay module-level (picklable by
+    reference).
     """
     start = time.perf_counter()
+    pid = os.getpid()
     try:
         trace = job.resolve_trace()
         stats = Pipeline(trace, job.config).run()
-        return ("ok", stats, time.perf_counter() - start)
+        return ("ok", stats, time.perf_counter() - start, pid)
     except Exception:
-        return ("error", traceback.format_exc(), time.perf_counter() - start)
+        return (
+            "error", traceback.format_exc(), time.perf_counter() - start, pid,
+        )
 
 
 # ----------------------------------------------------------------------
 # Observability counters.
+
+
+#: Snapshot keys that are distribution summaries rather than additive
+#: counters; :meth:`EngineCounters.since` reports their current value.
+_NON_ADDITIVE = ("max_job_seconds", "job_seconds_p50", "job_seconds_p95")
 
 
 @dataclass
@@ -207,6 +237,16 @@ class EngineCounters:
     traces_loaded: int = 0
     trace_gen_seconds: float = 0.0
     trace_load_seconds: float = 0.0
+    #: Distribution of executed-job wall-clock (capped sample set).
+    job_wall: Histogram = field(default_factory=Histogram, repr=False)
+
+    def record_job(self, wall: float) -> None:
+        """Fold one executed job's wall-clock into the aggregates."""
+        self.executed += 1
+        self.job_seconds += wall
+        if wall > self.max_job_seconds:
+            self.max_job_seconds = wall
+        self.job_wall.observe(wall)
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -219,6 +259,8 @@ class EngineCounters:
             "serial_fallbacks": self.serial_fallbacks,
             "job_seconds": round(self.job_seconds, 6),
             "max_job_seconds": round(self.max_job_seconds, 6),
+            "job_seconds_p50": round(self.job_wall.percentile(0.50), 6),
+            "job_seconds_p95": round(self.job_wall.percentile(0.95), 6),
             "engine_seconds": round(self.engine_seconds, 6),
             "traces_generated": self.traces_generated,
             "traces_loaded": self.traces_loaded,
@@ -229,16 +271,18 @@ class EngineCounters:
     def since(self, before: dict[str, float]) -> dict[str, float]:
         """Delta of the additive counters since a snapshot.
 
-        ``max_job_seconds`` is a running maximum, not additive, so the
-        delta reports the current value.
+        ``max_job_seconds`` and the wall-clock percentiles are
+        distribution summaries, not additive, so the delta reports
+        their current value.
         """
         now = self.snapshot()
         delta = {
             key: round(now[key] - before.get(key, 0), 6)
             for key in now
-            if key != "max_job_seconds"
+            if key not in _NON_ADDITIVE
         }
-        delta["max_job_seconds"] = now["max_job_seconds"]
+        for key in _NON_ADDITIVE:
+            delta[key] = now[key]
         return delta
 
 
@@ -279,6 +323,10 @@ class ExperimentEngine:
             cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
         self.cache_dir = Path(cache_dir)
         self.counters = EngineCounters()
+        manifest_path = manifest_path_for(self.cache_dir)
+        self.manifest: ManifestWriter | None = (
+            None if manifest_path is None else ManifestWriter(manifest_path)
+        )
 
     # ------------------------------------------------------------------
     # Public API.
@@ -303,6 +351,8 @@ class ExperimentEngine:
         counters = self.counters
         counters.jobs += len(jobs)
         results: list[SimStats | JobFailure | None] = [None] * len(jobs)
+        run_id = uuid.uuid4().hex[:12]
+        manifest_records: list[dict] = []
 
         pending: list[int] = []
         for index, job in enumerate(jobs):
@@ -311,47 +361,163 @@ class ExperimentEngine:
                 if cached is not None:
                     counters.cache_hits += 1
                     results[index] = cached
+                    if self.manifest is not None:
+                        manifest_records.append(
+                            self._manifest_record(
+                                run_id, job, cached=True, status="ok",
+                                wall=0.0, worker=None,
+                            )
+                        )
                     continue
                 counters.cache_misses += 1
             pending.append(index)
 
+        _log.info(
+            "run %s: %d jobs (%d cached, %d to execute, %d workers)",
+            run_id, len(jobs), len(jobs) - len(pending), len(pending),
+            self._resolve_workers(workers, len(pending)) if pending else 0,
+        )
+
+        failures: list[JobFailure] = []
+        run_wall = 0.0
         if pending:
             trace_before = trace_counters().snapshot()
             pending_jobs = [jobs[index] for index in pending]
             self._warm_traces(pending_jobs)
             workers = self._resolve_workers(workers, len(pending))
-            outcomes = self._execute_pending(pending_jobs, workers)
-            failures: list[JobFailure] = []
+            hit_rate = (
+                f"{counters.cache_hits}/{counters.jobs}"
+                if counters.jobs else "0/0"
+            )
+            progress = ProgressReporter(
+                total=len(pending), logger=_log,
+                label=f"run {run_id}",
+            )
+            outcomes = self._execute_pending(pending_jobs, workers, progress)
             for index, outcome in zip(pending, outcomes):
-                status, payload, wall = outcome
+                status, payload, wall, worker = outcome
                 job = jobs[index]
-                counters.executed += 1
-                counters.job_seconds += wall
-                if wall > counters.max_job_seconds:
-                    counters.max_job_seconds = wall
+                counters.record_job(wall)
+                run_wall += wall
                 if status == "ok":
                     if self.use_cache and job.cacheable:
                         self._cache_store(job, payload)
                     results[index] = payload
+                    error = None
                 else:
                     counters.errors += 1
                     failure = JobFailure(job=job, error=payload)
                     failures.append(failure)
                     results[index] = failure
+                    error = payload
+                    _log.warning(
+                        "run %s: job %s failed on worker %s",
+                        run_id, job.describe(), worker,
+                    )
+                if self.manifest is not None:
+                    manifest_records.append(
+                        self._manifest_record(
+                            run_id, job, cached=False, status=status,
+                            wall=wall, worker=worker, error=error,
+                        )
+                    )
             trace_delta = trace_counters().since(trace_before)
             counters.traces_generated += int(trace_delta["traces_generated"])
             counters.traces_loaded += int(trace_delta["traces_loaded"])
             counters.trace_gen_seconds += trace_delta["trace_gen_seconds"]
             counters.trace_load_seconds += trace_delta["trace_load_seconds"]
-            if failures and raise_on_error:
-                first = failures[0]
-                raise EngineError(
-                    f"{len(failures)} of {len(jobs)} jobs failed; first: "
-                    f"{first.job.describe()}\n{first.error}"
-                )
+            _log.info(
+                "run %s: done, cumulative cache hits %s, errors %d",
+                run_id, hit_rate, len(failures),
+            )
 
-        counters.engine_seconds += time.perf_counter() - start
+        engine_wall = time.perf_counter() - start
+        counters.engine_seconds += engine_wall
+        self._write_manifest(
+            run_id, manifest_records, len(jobs), len(pending),
+            len(failures), engine_wall,
+        )
+        self._publish_metrics(
+            len(jobs), len(pending), len(failures), run_wall,
+        )
+        if failures and raise_on_error:
+            first = failures[0]
+            raise EngineError(
+                f"{len(failures)} of {len(jobs)} jobs failed; first: "
+                f"{first.job.describe()}\n{first.error}"
+            )
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Observability: manifests and metrics.
+
+    def _manifest_record(
+        self,
+        run_id: str,
+        job: SimJob,
+        *,
+        cached: bool,
+        status: str,
+        wall: float,
+        worker: int | None,
+        error: str | None = None,
+    ) -> dict:
+        record = {
+            "kind": "job",
+            "run": run_id,
+            "ts": round(time.time(), 3),
+            "job": job.describe(),
+            "trace": [job.trace_name, float(job.scale), job.seed],
+            "config_hash": job.config.config_hash(),
+            "key": job.cache_key() if job.cacheable else None,
+            "cached": cached,
+            "status": status,
+            "wall": round(wall, 6),
+            "worker": worker,
+        }
+        if error is not None:
+            record["error"] = error
+        return record
+
+    def _write_manifest(
+        self,
+        run_id: str,
+        records: list[dict],
+        jobs: int,
+        executed: int,
+        errors: int,
+        engine_wall: float,
+    ) -> None:
+        """Append this run's job records plus a run-summary record."""
+        if self.manifest is None or not jobs:
+            return
+        records = records + [{
+            "kind": "run",
+            "run": run_id,
+            "ts": round(time.time(), 3),
+            "jobs": jobs,
+            "cached": jobs - executed,
+            "executed": executed,
+            "errors": errors,
+            "workers": self.workers,
+            "engine_seconds": round(engine_wall, 6),
+        }]
+        self.manifest.append_all(records)
+
+    def _publish_metrics(
+        self, jobs: int, executed: int, errors: int, run_wall: float,
+    ) -> None:
+        """Fold this run's activity into the process-wide registry."""
+        registry = get_metrics()
+        if not registry.enabled or not jobs:
+            return
+        registry.publish("engine", {
+            "jobs": jobs,
+            "executed": executed,
+            "cache_hits": jobs - executed,
+            "errors": errors,
+            "job_seconds": round(run_wall, 6),
+        })
 
     def run_grid(
         self,
@@ -403,23 +569,43 @@ class ExperimentEngine:
         return max(1, min(workers, pending))
 
     def _execute_pending(
-        self, jobs: Sequence[SimJob], workers: int
-    ) -> list[tuple[str, object, float]]:
+        self,
+        jobs: Sequence[SimJob],
+        workers: int,
+        progress: ProgressReporter | None = None,
+    ) -> list[tuple[str, object, float, int]]:
         if workers > 1 and len(jobs) > 1:
             try:
-                return self._execute_parallel(jobs, workers)
+                return self._execute_parallel(jobs, workers, progress)
             except (OSError, RuntimeError, pickle.PicklingError, EOFError):
                 # Pool creation or transport failed (sandboxed platform,
                 # broken worker, unpicklable payload): fall back serial.
                 self.counters.serial_fallbacks += 1
-        return [_execute_job(job) for job in jobs]
+        outcomes = []
+        for job in jobs:
+            outcomes.append(_execute_job(job))
+            if progress is not None:
+                progress.update()
+        return outcomes
 
     def _execute_parallel(
-        self, jobs: Sequence[SimJob], workers: int
-    ) -> list[tuple[str, object, float]]:
+        self,
+        jobs: Sequence[SimJob],
+        workers: int,
+        progress: ProgressReporter | None = None,
+    ) -> list[tuple[str, object, float, int]]:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_execute_job, job) for job in jobs]
-            outcomes = [future.result() for future in futures]
+            futures = {
+                pool.submit(_execute_job, job): index
+                for index, job in enumerate(jobs)
+            }
+            outcomes: list = [None] * len(jobs)
+            # Collect in completion order so progress (and its ETA) is
+            # live; result ordering is restored through the index map.
+            for future in as_completed(futures):
+                outcomes[futures[future]] = future.result()
+                if progress is not None:
+                    progress.update()
         self.counters.parallel_jobs += len(jobs)
         return outcomes
 
@@ -460,7 +646,14 @@ class ExperimentEngine:
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            # The tmp name must be unique per writer — pid separates
+            # concurrent sweep processes, the counter separates threads
+            # within one — so no two writers ever interleave into the
+            # same tmp file; os.replace then publishes atomically and a
+            # reader can never observe a torn entry.
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{next(_tmp_counter)}"
+            )
             tmp.write_text(json.dumps(payload), encoding="utf-8")
             os.replace(tmp, path)
         except OSError:

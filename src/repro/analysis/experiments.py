@@ -661,20 +661,55 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI: print the requested experiments (or ``all``)."""
-    args = argv if argv is not None else sys.argv[1:]
+    """CLI: print the requested experiments (or ``all``).
+
+    ``--verbose``/``-v`` and ``--quiet``/``-q`` adjust the logging setup
+    (INFO / ERROR; the default comes from ``REPRO_LOG_LEVEL``). Exit
+    codes: 0 success, 1 usage, 2 unknown experiment, 3 when at least
+    one experiment had failing jobs (the remaining experiments still
+    run and render).
+    """
+    from repro.errors import EngineError
+    from repro.obs.log import get_logger, setup_logging
+
+    args = list(argv if argv is not None else sys.argv[1:])
+    level = None
+    while "--verbose" in args or "-v" in args:
+        args.remove("--verbose") if "--verbose" in args else args.remove("-v")
+        level = "INFO"
+    while "--quiet" in args or "-q" in args:
+        args.remove("--quiet") if "--quiet" in args else args.remove("-q")
+        level = "ERROR"
+    setup_logging(level)
+    logger = get_logger("experiments")
+
     if not args:
         print(__doc__)
         print("available:", ", ".join(EXPERIMENTS))
         return 1
     requested = list(EXPERIMENTS) if "all" in args else args
+    failed: list[str] = []
     for name in requested:
         runner = EXPERIMENTS.get(name)
         if runner is None:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
-        print(render(runner()))
+        try:
+            result = runner()
+        except EngineError as error:
+            failed.append(name)
+            logger.error("experiment %s had failing jobs", name)
+            print(f"== {name}: FAILED ==\n{error}\n", file=sys.stderr)
+            continue
+        print(render(result))
         print()
+    if failed:
+        print(
+            f"{len(failed)} experiment(s) with failing jobs: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

@@ -45,8 +45,38 @@ def _format_cell(value: object) -> str:
     return str(value)
 
 
+def _engine_note(meta: dict) -> str | None:
+    """One-line engine-activity summary from ``meta["engine"]``."""
+    engine = meta.get("engine")
+    if not isinstance(engine, dict) or not engine.get("jobs"):
+        return None
+    parts = [
+        f"engine: {engine.get('jobs', 0)} jobs",
+        f"{engine.get('cache_hits', 0)} cached",
+        f"{engine.get('executed', 0)} run",
+    ]
+    errors = engine.get("errors", 0)
+    if errors:
+        parts.append(f"{errors} FAILED")
+    seconds = engine.get("engine_seconds")
+    if isinstance(seconds, (int, float)):
+        parts.append(f"{seconds:.2f}s")
+    p95 = engine.get("job_seconds_p95")
+    if p95:
+        parts.append(f"job p95 {p95:.3f}s")
+    return ", ".join(parts)
+
+
 def render(result: ExperimentResult) -> str:
-    """Render an experiment result as an aligned ASCII table."""
+    """Render an experiment result as an aligned ASCII table.
+
+    Besides the table and ``notes``, two meta entries surface in the
+    output when present: ``meta["engine"]`` (the engine counter deltas
+    recorded by the experiment wrapper) becomes a one-line activity
+    note, and ``meta["failures"]`` (a list of strings or dicts with a
+    ``job``/``error``) becomes per-failure notes — so a rendered
+    artifact always shows whether its data is complete.
+    """
     table = [result.headers] + [
         [_format_cell(cell) for cell in row] for row in result.rows
     ]
@@ -68,6 +98,20 @@ def render(result: ExperimentResult) -> str:
         lines.append("")
         for note_line in result.notes.strip().splitlines():
             lines.append(f"  note: {note_line.strip()}")
+    engine_note = _engine_note(result.meta)
+    failures = result.meta.get("failures") or []
+    if engine_note or failures:
+        lines.append("")
+    if engine_note:
+        lines.append(f"  {engine_note}")
+    for failure in failures:
+        if isinstance(failure, dict):
+            job = failure.get("job", "?")
+            error = str(failure.get("error", "")).strip().splitlines()
+            detail = error[-1] if error else ""
+            lines.append(f"  failed: {job}{': ' if detail else ''}{detail}")
+        else:
+            lines.append(f"  failed: {failure}")
     return "\n".join(lines)
 
 

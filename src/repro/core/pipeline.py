@@ -40,6 +40,8 @@ from repro.errors import SimulationError
 from repro.frontend.fetch import FrontEnd
 from repro.isa.opcodes import OpClass
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import trace_file_for, tracer_from_env
 from repro.predict.degree_of_use import DegreeOfUsePredictor
 from repro.regfile.backing import BackingFile
 from repro.regfile.indexing import make_index_policy
@@ -55,6 +57,9 @@ from repro.vm.trace import Trace
 
 _WAITING = 0
 _ISSUED = 1
+
+#: Sentinel for "resolve from the environment" observability arguments.
+_FROM_ENV = object()
 
 
 def _op_seq(op: "_Op") -> int:
@@ -126,11 +131,28 @@ class Pipeline:
     point; this class exposes the machinery for tests and extensions.
     """
 
-    def __init__(self, trace: Trace, config: MachineConfig) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        *,
+        tracer=_FROM_ENV,
+        metrics=_FROM_ENV,
+    ) -> None:
         config.validate()
         self.trace = trace
         self.config = config
         self.stats = SimStats(benchmark=trace.name, scheme=config.storage)
+
+        # Observability: an event tracer (None unless REPRO_TRACE_EVENTS
+        # is set or one is injected) and a metrics registry (the
+        # process-wide one unless injected; None disables publishing).
+        self._tracer_autowrite = False
+        if tracer is _FROM_ENV:
+            tracer = tracer_from_env()
+            self._tracer_autowrite = tracer is not None
+        self.tracer = tracer
+        self.metrics = get_metrics() if metrics is _FROM_ENV else metrics
 
         num_pregs = config.num_pregs
         if config.storage == "two_level":
@@ -163,6 +185,7 @@ class Pipeline:
                 make_replacement_policy(config.replacement),
                 self.index_policy,
             )
+            self.cache.tracer = self.tracer
             self.insertion = make_insertion_policy(config.insertion)
             self.backing = BackingFile(
                 num_pregs,
@@ -385,6 +408,7 @@ class Pipeline:
         pinfo = self.pinfo
         cache = self.cache
         rf = self.rf
+        tracer = self.tracer
         writebacks = self._writebacks
         for op in events:
             requeue_at = op.exec_end + 1
@@ -399,6 +423,11 @@ class Pipeline:
             info = pinfo[preg]
             if info is None:  # pragma: no cover - freed before write
                 continue
+            if tracer is not None:
+                tracer.emit(
+                    "writeback", "pipeline", now,
+                    args={"seq": op.seq, "preg": preg},
+                )
             if cache is not None:
                 self.backing.record_write()
                 ctx = WriteContext(
@@ -413,7 +442,7 @@ class Pipeline:
                         remaining if remaining > 0 else 0, op.pinned, now,
                     )
                 else:
-                    cache.record_filtered_write(preg)
+                    cache.record_filtered_write(preg, now)
             elif rf is not None:
                 rf.record_write()
 
@@ -487,6 +516,12 @@ class Pipeline:
         if self.predictor is not None:
             self.predictor.train(info.pc, info.fcf, info.uses_renamed)
             self.predictor.record_outcome(info.predicted, info.uses_renamed)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "dou_train", "predictor", now,
+                    args={"pc": info.pc, "actual": info.uses_renamed,
+                          "predicted": info.predicted},
+                )
         if self.cache is not None:
             self.cache.invalidate(preg, now)
             self.index_policy.release(info.assigned_set, info.pred_eff)
@@ -625,6 +660,12 @@ class Pipeline:
         self.window_count -= 1
         if self.config.record_timing:
             self.issue_log[op.seq] = op
+        if self.tracer is not None:
+            self.tracer.emit(
+                "issue", "pipeline", now,
+                duration=max(1, exec_end - now),
+                args={"pc": op.dyn.pc, "seq": op.seq},
+            )
 
         for (preg, assigned_set), kind in zip(op.sources, kinds):
             if kind < 0:
@@ -792,10 +833,25 @@ class Pipeline:
         pinfo = self.pinfo
         two_level = self.two_level
         predictor = self.predictor
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "fetch", "pipeline", fetched.ready_at,
+                args={"pc": dyn.pc, "seq": dyn.seq},
+            )
+            tracer.emit(
+                "rename", "pipeline", now,
+                args={"pc": dyn.pc, "seq": dyn.seq},
+            )
         writes_register = dyn.writes_register
         predicted = None
         if predictor is not None and writes_register:
             predicted = predictor.predict(dyn.pc, self.fcf[dyn.seq])
+            if tracer is not None:
+                tracer.emit(
+                    "dou_predict", "predictor", now,
+                    args={"pc": dyn.pc, "predicted": predicted},
+                )
         if writes_register:
             raw = predicted if predicted is not None else config.unknown_default
             max_use = config.max_use
@@ -885,6 +941,35 @@ class Pipeline:
             stats.lifetimes.append(LifetimeRecord(
                 info.alloc_time, write_time, last_read, cycles
             ))
+        self._publish_observability()
+
+    def _publish_observability(self) -> None:
+        """End-of-run observability: one bulk metrics fold + trace export.
+
+        Publishing happens once per run, after statistics settle, so the
+        metrics registry adds no per-cycle work; a disabled (or None)
+        registry skips the fold entirely.
+        """
+        stats = self.stats
+        registry = self.metrics
+        if registry is not None and registry.enabled:
+            labels = {"bench": stats.benchmark, "scheme": stats.scheme}
+            registry.counter("sim.runs", **labels).inc()
+            registry.publish(
+                "sim", stats.to_dict(include_lifetimes=False), **labels
+            )
+            registry.gauge("sim.ipc", **labels).set(stats.ipc)
+            registry.gauge(
+                "sim.bypass_fraction", **labels
+            ).set(stats.bypass_fraction)
+            if self.cache is not None:
+                self.cache.publish_metrics(registry, **labels)
+            if self.predictor is not None:
+                self.predictor.publish_metrics(registry, **labels)
+        if self.tracer is not None and self._tracer_autowrite:
+            self.tracer.write(
+                trace_file_for(stats.benchmark, stats.scheme)
+            )
 
 
 class _ICacheAdapter:

@@ -75,7 +75,14 @@ def unpack_lifetimes(flat: list[int]) -> list[LifetimeRecord]:
 
 @dataclass
 class SimStats:
-    """Everything measured during one timing-simulation run."""
+    """Everything measured during one timing-simulation run.
+
+    Rate properties (:attr:`ipc`, :attr:`bypass_fraction`,
+    :attr:`predictor_accuracy`, and every ``*_bandwidth``) are defined
+    to return ``0.0`` — never raise — when their denominator is zero
+    (an empty or zero-cycle run), so report code can format any
+    :class:`SimStats` without guarding against fresh instances.
+    """
 
     benchmark: str = ""
     scheme: str = ""
@@ -177,6 +184,49 @@ class SimStats:
                 "avg_entry_lifetime": self.cache.average_lifetime,
             })
         return out
+
+    # ------------------------------------------------------------------
+    # Aggregation (the observability summary path).
+
+    @classmethod
+    def merge(cls, runs: "Iterable[SimStats]") -> "SimStats":
+        """Pool several runs into one aggregate :class:`SimStats`.
+
+        Integer counters add; the cache sub-records merge via
+        :meth:`CacheStats.merge` (present when any run had one); the
+        lifetime logs concatenate. ``benchmark`` joins the distinct
+        input names with ``+`` and ``scheme`` is kept when unanimous
+        (``mixed`` otherwise), so derived rates (:attr:`ipc`,
+        :attr:`bypass_fraction`, ...) read as suite-level aggregates.
+        Merging zero runs returns an empty instance (all rates 0.0).
+        """
+        runs = list(runs)
+        merged = cls()
+        benchmarks: list[str] = []
+        schemes: list[str] = []
+        caches = []
+        for stats in runs:
+            if stats.benchmark and stats.benchmark not in benchmarks:
+                benchmarks.append(stats.benchmark)
+            if stats.scheme and stats.scheme not in schemes:
+                schemes.append(stats.scheme)
+            if stats.cache is not None:
+                caches.append(stats.cache)
+            for spec in dataclasses.fields(cls):
+                if spec.name in ("benchmark", "scheme", "cache", "lifetimes"):
+                    continue
+                setattr(
+                    merged, spec.name,
+                    getattr(merged, spec.name) + getattr(stats, spec.name),
+                )
+            merged.lifetimes.extend(stats.lifetimes)
+        merged.benchmark = "+".join(benchmarks)
+        merged.scheme = (
+            schemes[0] if len(schemes) == 1 else ("mixed" if schemes else "")
+        )
+        if caches:
+            merged.cache = CacheStats.merge(caches)
+        return merged
 
     # ------------------------------------------------------------------
     # Serialization (process boundaries and the on-disk result cache).

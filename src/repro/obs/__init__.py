@@ -1,0 +1,55 @@
+"""`repro.obs` — the observability subsystem.
+
+Four small, dependency-free modules that the rest of the stack publishes
+into:
+
+* :mod:`repro.obs.metrics` — a process-wide metrics registry (counters /
+  gauges / histograms with labels) that the pipeline, register cache,
+  degree-of-use predictor, and experiment engine populate alongside
+  :class:`~repro.core.stats.SimStats`. Near-zero overhead when disabled.
+* :mod:`repro.obs.tracer` — a windowed, ring-buffered structured event
+  tracer for the pipeline with a Chrome ``trace_event`` JSON exporter,
+  gated by ``REPRO_TRACE_EVENTS`` so traces open in ``chrome://tracing``
+  or Perfetto.
+* :mod:`repro.obs.manifest` — append-only JSONL run manifests recording
+  what every engine run actually did (job identity, cache hit/miss,
+  wall-clock, failures, worker pids), plus readers and summarizers.
+* :mod:`repro.obs.log` — ``logging`` setup (``REPRO_LOG_LEVEL``) and the
+  progress reporter the engine uses for jobs-done/ETA/hit-rate lines.
+
+The regression gate that consumes these artifacts lives in
+:mod:`repro.analysis.obs` (``python -m repro.analysis.obs compare``).
+"""
+
+from repro.obs.log import ProgressReporter, get_logger, setup_logging
+from repro.obs.manifest import (
+    ManifestWriter,
+    read_manifest,
+    summarize_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure_metrics,
+    get_metrics,
+)
+from repro.obs.tracer import EventTracer, tracer_from_env
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "ManifestWriter",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "configure_metrics",
+    "get_logger",
+    "get_metrics",
+    "read_manifest",
+    "setup_logging",
+    "summarize_manifest",
+    "tracer_from_env",
+]

@@ -1,0 +1,115 @@
+"""Logging setup and progress reporting for the observability layer.
+
+Everything in ``repro`` logs under the ``repro.*`` namespace;
+:func:`setup_logging` attaches one stream handler to the ``repro`` root
+logger (idempotently) at the level named by ``REPRO_LOG_LEVEL``
+(default ``WARNING``, so library use stays silent). The engine's live
+progress lines — jobs done/total, ETA, cache hit rate — go through
+:class:`ProgressReporter`, which rate-limits emission so a thousand-job
+sweep logs a handful of lines, not a thousand.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro.*`` namespace (``get_logger("engine")``)."""
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def setup_logging(
+    level: int | str | None = None, stream=None, force: bool = False,
+) -> logging.Logger:
+    """Attach a handler to the ``repro`` root logger (idempotent).
+
+    Args:
+        level: explicit level (name or number); ``None`` reads
+            ``REPRO_LOG_LEVEL`` (default ``WARNING``).
+        stream: handler target (default ``sys.stderr``).
+        force: reattach even if already configured (tests use this to
+            redirect the stream).
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER)
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING")
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), logging.WARNING)
+    root.setLevel(level)
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        _configured = False
+    if not _configured:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s",
+            datefmt="%H:%M:%S",
+        ))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    return root
+
+
+class ProgressReporter:
+    """Rate-limited progress logging with ETA and hit-rate context.
+
+    Args:
+        total: number of jobs expected.
+        logger: destination (default ``repro.engine``).
+        label: prefix naming the activity.
+        interval: minimum seconds between emitted lines; the first and
+            final updates always emit.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        logger: logging.Logger | None = None,
+        label: str = "run",
+        interval: float = 2.0,
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self.label = label
+        self.interval = interval
+        self.logger = logger or get_logger("engine")
+        self._start = time.perf_counter()
+        self._last_emit = float("-inf")  # first update always emits
+
+    def update(self, done: int | None = None, **context: object) -> None:
+        """Advance progress (by one, or to *done*) and maybe log a line."""
+        self.done = self.done + 1 if done is None else done
+        now = time.perf_counter()
+        final = self.done >= self.total
+        if not final and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        elapsed = now - self._start
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        remaining = (
+            (self.total - self.done) / rate if rate > 0 else float("inf")
+        )
+        extra = "".join(
+            f", {key} {value}" for key, value in context.items()
+        )
+        self.logger.info(
+            "%s: %d/%d jobs (%.0f%%), %.1fs elapsed, ETA %.1fs%s",
+            self.label, self.done, self.total,
+            100.0 * self.done / self.total if self.total else 100.0,
+            elapsed,
+            0.0 if final else remaining,
+            extra,
+        )

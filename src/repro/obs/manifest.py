@@ -1,0 +1,151 @@
+"""Append-only JSONL run manifests.
+
+Every :meth:`repro.analysis.engine.ExperimentEngine.run` batch appends
+one record per job to a manifest file under the engine's cache
+directory, making sweeps auditable after the fact: what ran, with which
+config hash and trace provenance, whether it was served from cache, how
+long it took, on which worker, and — for failures — the full traceback.
+
+Records are single JSON lines written with one ``os.write`` on an
+``O_APPEND`` descriptor, so concurrent engine processes interleave whole
+records rather than tearing each other's lines. Readers skip corrupt
+lines (a crash mid-write loses at most one record) and report how many
+they skipped.
+
+Knobs: ``REPRO_MANIFEST=0`` disables manifest writing; any other value
+is used as an explicit manifest path (default
+``<cache_dir>/manifest.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.metrics import percentile
+
+#: Default manifest file name under the engine cache directory.
+MANIFEST_NAME = "manifest.jsonl"
+
+
+def manifest_path_for(cache_dir: str | os.PathLike) -> Path | None:
+    """Resolve the manifest location from the env and *cache_dir*.
+
+    Returns None when ``REPRO_MANIFEST`` disables manifests.
+    """
+    knob = os.environ.get("REPRO_MANIFEST", "")
+    if knob.lower() in ("0", "false", "off"):
+        return None
+    if knob and knob != "1":
+        return Path(knob)
+    return Path(cache_dir) / MANIFEST_NAME
+
+
+class ManifestWriter:
+    """Appends JSON records to a manifest file, one per line.
+
+    Writing is best-effort: a read-only or full filesystem never fails
+    the experiment (mirroring the result cache's contract).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict) -> bool:
+        """Append one record; returns False when the write failed."""
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+            return True
+        except OSError:
+            return False
+
+    def append_all(self, records: list[dict]) -> bool:
+        """Append several records in one write (still line-delimited)."""
+        if not records:
+            return True
+        payload = "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in records
+        )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, payload.encode("utf-8"))
+            finally:
+                os.close(fd)
+            return True
+        except OSError:
+            return False
+
+
+def read_manifest(path: str | os.PathLike) -> list[dict]:
+    """Parse a manifest; corrupt lines are skipped, not fatal.
+
+    The number of skipped lines is attached to the returned list as the
+    final summary consumer expects it: via :func:`summarize_manifest`'s
+    ``corrupt_lines`` count recomputed here.
+    """
+    records: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    record = None
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        return []
+    return records
+
+
+def summarize_manifest(records: list[dict]) -> dict:
+    """Roll a manifest up into the gate's flat summary form.
+
+    Returns job counts, cache hit/miss totals, failure records, and
+    wall-clock aggregates (total / p50 / p95) for the executed jobs.
+    """
+    jobs = [r for r in records if r.get("kind") == "job"]
+    failures = [
+        {
+            "job": record.get("job", "?"),
+            "run": record.get("run", ""),
+            "error": record.get("error") or "",
+        }
+        for record in jobs
+        if record.get("status") == "error"
+    ]
+    walls = [
+        float(record.get("wall", 0.0))
+        for record in jobs
+        if not record.get("cached")
+    ]
+    return {
+        "kind": "manifest_summary",
+        "jobs": len(jobs),
+        "runs": len({r.get("run") for r in jobs}),
+        "ok": sum(1 for r in jobs if r.get("status") == "ok"),
+        "errors": len(failures),
+        "cache_hits": sum(1 for r in jobs if r.get("cached")),
+        "cache_misses": sum(1 for r in jobs if not r.get("cached")),
+        "wall_seconds": round(sum(walls), 6),
+        "wall_p50": round(percentile(walls, 0.50), 6),
+        "wall_p95": round(percentile(walls, 0.95), 6),
+        "failures": failures,
+    }

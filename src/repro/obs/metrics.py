@@ -1,0 +1,269 @@
+"""Lightweight metrics registry (counters, gauges, histograms).
+
+The registry is the quantitative half of the observability layer: the
+pipeline, register cache, degree-of-use predictor, and experiment engine
+publish named, labelled instruments into it alongside the flat
+:class:`~repro.core.stats.SimStats` record. Design constraints:
+
+* **Near-zero overhead when disabled.** A disabled registry hands out
+  shared null instruments whose mutators are no-ops, so instrumented
+  code never branches on an "is metrics on?" flag — it calls the same
+  methods either way. Publishers that do bulk work (e.g. the pipeline's
+  end-of-run publish) can still consult :attr:`MetricsRegistry.enabled`
+  to skip the loop entirely.
+* **Bounded cost when enabled.** Instruments are plain attribute
+  bumps; histograms keep a capped sample list with percentile queries
+  computed on demand, never per-observation.
+* **Snapshot-to-dict.** :meth:`MetricsRegistry.snapshot` flattens the
+  whole registry to a JSON-safe dict keyed ``name{label=value,...}``,
+  suitable for bench ``extra_info``, manifests, and the regression gate.
+
+The process-wide registry honours ``REPRO_METRICS`` (anything but
+``0``/``false``/``off`` enables; the default is enabled, since the only
+publishers are end-of-run bulk paths).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+#: Histograms keep at most this many samples; beyond it, reservoir-style
+#: overwrite keeps percentiles representative without unbounded memory.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (0.0 for an empty list).
+
+    Args:
+        samples: unsorted observations.
+        fraction: percentile as a fraction, e.g. ``0.95``.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Capped-sample distribution with on-demand percentiles."""
+
+    __slots__ = ("count", "total", "max", "_samples", "_next")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._next = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(value)
+        else:
+            # Deterministic ring overwrite: cheap, and recent runs stay
+            # represented without an RNG dependency.
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % HISTOGRAM_SAMPLE_CAP
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self._samples, fraction)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """JSON-safe distribution summary."""
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "mean": round(self.mean, 9),
+            "max": round(self.max, 9),
+            "p50": round(self.percentile(0.50), 9),
+            "p95": round(self.percentile(0.95), 9),
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instruments handed out by disabled registries.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+def _flat_key(name: str, labels: dict[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with a flat snapshot form.
+
+    Instruments are created on first use and identified by
+    ``(name, sorted labels)``; asking twice returns the same object, so
+    publishers can re-derive handles cheaply instead of caching them.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access.
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        key = _flat_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        key = _flat_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        key = _flat_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(key, Histogram())
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Bulk operations.
+
+    def publish(self, prefix: str, values: dict[str, int | float],
+                **labels: object) -> None:
+        """Bulk-add a dict of numbers as ``prefix.key`` counters.
+
+        The end-of-run publish path: one call folds a whole stats record
+        into the registry. A disabled registry returns immediately.
+        """
+        if not self.enabled:
+            return
+        for key, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.counter(f"{prefix}.{key}", **labels).inc(value)
+
+    def snapshot(self) -> dict[str, object]:
+        """Flatten every instrument to a JSON-safe dict.
+
+        Counters and gauges map to their value; histograms map to their
+        :meth:`Histogram.summary` dict.
+        """
+        out: dict[str, object] = {}
+        for key, counter in self._counters.items():
+            out[key] = counter.value
+        for key, gauge in self._gauges.items():
+            out[key] = gauge.value
+        for key, histogram in self._histograms.items():
+            out[key] = histogram.summary()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh measurement windows)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry.
+
+_registry: MetricsRegistry | None = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_METRICS", "1").lower() not in (
+        "0", "false", "off",
+    )
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (created from ``REPRO_METRICS``)."""
+    global _registry
+    if _registry is None:
+        _registry = MetricsRegistry(enabled=_env_enabled())
+    return _registry
+
+
+def configure_metrics(enabled: bool | None = None) -> MetricsRegistry:
+    """Replace the process-wide registry (tests, notebooks).
+
+    ``enabled=None`` re-reads ``REPRO_METRICS``.
+    """
+    global _registry
+    _registry = MetricsRegistry(
+        enabled=_env_enabled() if enabled is None else enabled
+    )
+    return _registry

@@ -1,0 +1,189 @@
+"""Structured pipeline event tracing with Chrome ``trace_event`` export.
+
+The tracer records discrete simulator events — pipeline stage activity
+(fetch/rename/issue/writeback/retire), register-cache activity
+(hit/miss/evict/insert/fill/fill-skip), predictor activity
+(predict/train) — and exports them as Chrome ``trace_event`` JSON, so a
+run opens directly in ``chrome://tracing`` or `Perfetto
+<https://ui.perfetto.dev>`_ with cycles on the time axis (1 cycle = 1
+microsecond of trace time).
+
+Cost is bounded by **windowing**: the first ``head_cycles`` cycles are
+kept in full, and after that a ring buffer retains only the most recent
+``tail_events`` events, so tracing a long run keeps its beginning and
+its end without unbounded memory. Tracing is **off by default** and
+enabled with ``REPRO_TRACE_EVENTS=1``; when off, instrumented code holds
+``tracer = None`` and pays one identity test per event site.
+
+Environment knobs (read by :func:`tracer_from_env`):
+
+* ``REPRO_TRACE_EVENTS`` — enable tracing (``1``/``true``/``on``).
+* ``REPRO_TRACE_HEAD`` — cycles kept in full from the start
+  (default 5000).
+* ``REPRO_TRACE_TAIL`` — ring-buffer capacity for later events
+  (default 20000).
+* ``REPRO_TRACE_FILE`` — where the pipeline writes the trace at the end
+  of a run (default ``repro-trace-<benchmark>-<scheme>.json`` in the
+  working directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+
+#: Default number of initial cycles traced in full.
+DEFAULT_HEAD_CYCLES = 5_000
+#: Default ring-buffer capacity for events past the head window.
+DEFAULT_TAIL_EVENTS = 20_000
+
+
+class EventTracer:
+    """Windowed event recorder with a Chrome ``trace_event`` exporter.
+
+    Events are stored as compact tuples ``(name, category, phase,
+    cycle, duration, args)``; :meth:`to_chrome` inflates them into the
+    ``traceEvents`` JSON schema.
+
+    Args:
+        head_cycles: cycles from the start of the run traced in full.
+        tail_events: maximum events retained past the head window (ring
+            buffer — older tail events are dropped as new ones arrive).
+    """
+
+    def __init__(
+        self,
+        head_cycles: int = DEFAULT_HEAD_CYCLES,
+        tail_events: int = DEFAULT_TAIL_EVENTS,
+    ) -> None:
+        self.head_cycles = head_cycles
+        self.tail_events = tail_events
+        self._head: list[tuple] = []
+        self._tail: deque[tuple] = deque(maxlen=tail_events)
+        self.dropped = 0  # tail events evicted by the ring buffer
+
+    # ------------------------------------------------------------------
+    # Recording.
+
+    def emit(
+        self,
+        name: str,
+        category: str,
+        cycle: int,
+        duration: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """Record one event at *cycle* (instant, or a span if *duration*)."""
+        phase = "X" if duration else "i"
+        event = (name, category, phase, cycle, duration, args)
+        if cycle < self.head_cycles:
+            self._head.append(event)
+        else:
+            if len(self._tail) == self.tail_events:
+                self.dropped += 1
+            self._tail.append(event)
+
+    def counter(self, name: str, cycle: int, **values: float) -> None:
+        """Record a Chrome counter sample (rendered as a stacked area)."""
+        event = (name, "counter", "C", cycle, 0, dict(values))
+        if cycle < self.head_cycles:
+            self._head.append(event)
+        else:
+            if len(self._tail) == self.tail_events:
+                self.dropped += 1
+            self._tail.append(event)
+
+    # ------------------------------------------------------------------
+    # Introspection and export.
+
+    def __len__(self) -> int:
+        return len(self._head) + len(self._tail)
+
+    def events(self) -> list[tuple]:
+        """All retained events in emission order (head, then tail)."""
+        return self._head + list(self._tail)
+
+    def names(self) -> set[str]:
+        """Distinct event names retained (test convenience)."""
+        return {event[0] for event in self.events()}
+
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (dict form).
+
+        One simulated cycle maps to one microsecond of trace time.
+        Categories become thread lanes (``tid``) so the pipeline, cache,
+        and predictor streams render as separate rows.
+        """
+        lanes: dict[str, int] = {}
+        trace_events = []
+        pid = os.getpid()
+        for name, category, phase, cycle, duration, args in self.events():
+            tid = lanes.setdefault(category, len(lanes) + 1)
+            event: dict[str, object] = {
+                "name": name,
+                "cat": category,
+                "ph": phase,
+                "ts": float(cycle),
+                "pid": pid,
+                "tid": tid,
+            }
+            if phase == "X":
+                event["dur"] = float(duration)
+            elif phase == "i":
+                event["s"] = "t"  # thread-scoped instant
+            if args:
+                event["args"] = args
+            trace_events.append(event)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro.obs.tracer",
+                "head_cycles": self.head_cycles,
+                "tail_events": self.tail_events,
+                "dropped": self.dropped,
+                "lanes": {name: tid for name, tid in lanes.items()},
+            },
+        }
+
+    def write(self, path: str | os.PathLike) -> None:
+        """Serialize :meth:`to_chrome` to *path* (best effort)."""
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_chrome(), handle)
+        except OSError:
+            pass
+
+
+def trace_events_enabled() -> bool:
+    """True when ``REPRO_TRACE_EVENTS`` asks for tracing."""
+    return os.environ.get("REPRO_TRACE_EVENTS", "").lower() in (
+        "1", "true", "on", "yes",
+    )
+
+
+def tracer_from_env() -> EventTracer | None:
+    """A tracer configured from the environment, or None when disabled."""
+    if not trace_events_enabled():
+        return None
+    return EventTracer(
+        head_cycles=int(
+            os.environ.get("REPRO_TRACE_HEAD", DEFAULT_HEAD_CYCLES)
+        ),
+        tail_events=int(
+            os.environ.get("REPRO_TRACE_TAIL", DEFAULT_TAIL_EVENTS)
+        ),
+    )
+
+
+def trace_file_for(benchmark: str, scheme: str) -> str:
+    """Output path for a run's trace (``REPRO_TRACE_FILE`` overrides)."""
+    explicit = os.environ.get("REPRO_TRACE_FILE")
+    if explicit:
+        return explicit
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_"
+        for ch in f"{benchmark}-{scheme}"
+    )
+    return f"repro-trace-{safe}.json"

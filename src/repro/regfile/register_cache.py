@@ -160,6 +160,26 @@ class CacheStats:
         data["misses"] = dict(data.get("misses", {}))
         return cls(**data)
 
+    @classmethod
+    def merge(cls, parts: "list[CacheStats]") -> "CacheStats":
+        """Sum several cache-stat records (suite-level aggregation).
+
+        Every counter adds, including per-cause miss counts, so derived
+        rates on the merged record are traffic-weighted means.
+        """
+        merged = cls()
+        for part in parts:
+            for spec in dataclasses.fields(cls):
+                if spec.name == "misses":
+                    continue
+                setattr(
+                    merged, spec.name,
+                    getattr(merged, spec.name) + getattr(part, spec.name),
+                )
+            for cause, count in part.misses.items():
+                merged.misses[cause] = merged.misses.get(cause, 0) + count
+        return merged
+
 
 class RegisterCache:
     """Set-associative register cache with remaining-use counts.
@@ -199,6 +219,10 @@ class RegisterCache:
         self.replacement = replacement
         self.index_policy = index_policy
         self.stats = CacheStats()
+        #: Optional :class:`repro.obs.tracer.EventTracer`; the pipeline
+        #: attaches one when ``REPRO_TRACE_EVENTS`` is on. Every hook
+        #: below costs one identity test when tracing is off.
+        self.tracer = None
 
         self._sets: list[list[CacheEntry]] = [[] for _ in range(self.num_sets)]
         self._where: dict[int, int] = {}  # preg -> set index (validity map)
@@ -262,6 +286,12 @@ class RegisterCache:
                     if not entry.pinned and entry.remaining > 0:
                         entry.remaining -= 1
                     self.stats.hits += 1
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "rc_hit", "cache", now,
+                            args={"preg": preg, "set": set_index,
+                                  "remaining": entry.remaining},
+                        )
                     return True
             raise RegisterFileError(
                 f"validity map claims preg {preg} in set {stored} "
@@ -269,6 +299,11 @@ class RegisterCache:
             )  # pragma: no cover - internal invariant
         cause = self._absent_reason.get(preg, MISS_COLD)
         self.stats.misses[cause] += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rc_miss", "cache", now,
+                args={"preg": preg, "set": set_index, "cause": cause},
+            )
         return False
 
     def write(
@@ -324,6 +359,12 @@ class RegisterCache:
             )
             self._absent_reason[victim.preg] = cause
             self._valid -= 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "rc_evict", "cache", now,
+                    args={"preg": victim.preg, "set": set_index,
+                          "cause": cause, "remaining": victim.remaining},
+                )
 
         entries.append(CacheEntry(preg, remaining, pinned, now, is_fill))
         self._where[preg] = set_index
@@ -337,12 +378,22 @@ class RegisterCache:
             self.stats.writes_fill += 1
         else:
             self.stats.writes_initial += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rc_fill" if is_fill else "rc_insert", "cache", now,
+                args={"preg": preg, "set": set_index,
+                      "remaining": remaining, "pinned": pinned},
+            )
         return evicted
 
-    def record_filtered_write(self, preg: int) -> None:
+    def record_filtered_write(self, preg: int, now: int = 0) -> None:
         """Record that the insertion policy skipped *preg*'s write."""
         self.stats.writes_filtered += 1
         self._absent_reason.setdefault(preg, MISS_FILTERED)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rc_fill_skip", "cache", now, args={"preg": preg},
+            )
 
     def invalidate(self, preg: int, now: int) -> None:
         """Remove *preg* when its physical register is freed (§2.2).
@@ -373,6 +424,25 @@ class RegisterCache:
         self.stats.lifetime_count += 1
         if entry.reads == 0:
             self.stats.instances_never_read += 1
+
+    # ------------------------------------------------------------------
+    # Observability.
+
+    def publish_metrics(self, registry, **labels: object) -> None:
+        """Publish the cache's counters into a metrics registry.
+
+        Called once at the end of a run (after :meth:`finalize`), so the
+        cost is one bulk fold regardless of run length. *registry* is a
+        :class:`repro.obs.metrics.MetricsRegistry`; a disabled registry
+        returns immediately.
+        """
+        if not registry.enabled:
+            return
+        stats = self.stats
+        registry.publish("rc", stats.to_dict(), **labels)
+        for cause, count in stats.misses.items():
+            registry.counter("rc.misses", cause=cause, **labels).inc(count)
+        registry.gauge("rc.miss_rate", **labels).set(stats.miss_rate)
 
     # ------------------------------------------------------------------
 

@@ -97,3 +97,32 @@ def test_cli_main_rejects_unknown():
 def test_cli_main_no_args_usage():
     from repro.analysis.experiments import main
     assert main([]) == 1
+
+
+def test_cli_main_failed_experiment_exits_three(monkeypatch, capsys):
+    import repro.analysis.experiments as experiments_mod
+    from repro.errors import EngineError
+
+    def boom():
+        raise EngineError("1 of 9 jobs failed; first: gcc[register_cache]")
+
+    monkeypatch.setitem(experiments_mod.EXPERIMENTS, "boom", boom)
+    assert experiments_mod.main(["boom", "table1"]) == 3
+    captured = capsys.readouterr()
+    # The failure is reported on stderr; later experiments still render.
+    assert "boom: FAILED" in captured.err
+    assert "1 experiment(s) with failing jobs: boom" in captured.err
+    assert "table1" in captured.out
+
+
+def test_cli_main_verbose_and_quiet_flags(monkeypatch):
+    import logging
+
+    from repro.analysis.experiments import main
+    from repro.obs.log import ROOT_LOGGER
+
+    monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+    assert main(["--verbose", "table1"]) == 0
+    assert logging.getLogger(ROOT_LOGGER).level == logging.INFO
+    assert main(["-q", "table1"]) == 0
+    assert logging.getLogger(ROOT_LOGGER).level == logging.ERROR

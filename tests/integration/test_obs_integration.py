@@ -1,0 +1,280 @@
+"""End-to-end tests of the observability subsystem.
+
+Covers the acceptance criteria of the ``repro.obs`` work: a traced
+pipeline run emits a valid Chrome ``trace_event`` JSON containing cache
+and predictor events; an engine sweep writes a JSONL manifest whose
+totals round-trip through the regression gate; the result cache
+survives concurrent writers; and the experiments CLI reports failures
+with a distinct exit code.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.engine import ExperimentEngine, SimJob
+from repro.analysis.obs import compare_metrics, extract_metrics, main as obs_main
+from repro.core.config import lru_config, use_based_config
+from repro.core.pipeline import Pipeline
+from repro.obs.manifest import read_manifest, summarize_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import EventTracer
+from repro.workloads.suite import load_trace
+
+SCALE = 0.06
+
+
+# ----------------------------------------------------------------------
+# Pipeline tracing.
+
+
+def _small_cache_config():
+    # A small cache forces hits, misses, and evictions in a short run.
+    return use_based_config(cache_entries=8, cache_assoc=2)
+
+
+class TestPipelineTracing:
+    def test_env_enabled_run_writes_valid_chrome_trace(
+        self, tmp_path, monkeypatch,
+    ):
+        out = tmp_path / "trace.json"
+        monkeypatch.setenv("REPRO_TRACE_EVENTS", "1")
+        monkeypatch.setenv("REPRO_TRACE_FILE", str(out))
+        trace = load_trace("compress", scale=SCALE)
+        pipeline = Pipeline(trace, _small_cache_config(), metrics=None)
+        pipeline.run()
+
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events, "traced run emitted no events"
+        for event in events:
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+            assert event["ph"] in ("i", "X", "C")
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 1.0
+        names = {event["name"] for event in events}
+        # Register-cache activity...
+        assert {"rc_hit", "rc_miss", "rc_evict"} <= names
+        # ...predictor activity...
+        assert {"dou_predict", "dou_train"} <= names
+        # ...and pipeline stage activity.
+        assert {"fetch", "rename", "issue", "writeback"} <= names
+        # Cache, pipeline, and predictor streams get distinct lanes.
+        assert {"cache", "pipeline", "predictor"} <= set(
+            doc["otherData"]["lanes"]
+        )
+
+    def test_env_disabled_run_writes_nothing(self, tmp_path, monkeypatch):
+        out = tmp_path / "trace.json"
+        monkeypatch.delenv("REPRO_TRACE_EVENTS", raising=False)
+        monkeypatch.setenv("REPRO_TRACE_FILE", str(out))
+        trace = load_trace("compress", scale=SCALE)
+        pipeline = Pipeline(trace, _small_cache_config(), metrics=None)
+        assert pipeline.tracer is None
+        pipeline.run()
+        assert not out.exists()
+
+    def test_explicit_tracer_not_autowritten(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_FILE", str(tmp_path / "t.json"))
+        tracer = EventTracer()
+        trace = load_trace("compress", scale=SCALE)
+        Pipeline(
+            trace, _small_cache_config(), tracer=tracer, metrics=None,
+        ).run()
+        assert len(tracer) > 0
+        assert not (tmp_path / "t.json").exists()
+
+    def test_windowing_bounds_event_count(self):
+        tracer = EventTracer(head_cycles=100, tail_events=500)
+        trace = load_trace("compress", scale=SCALE)
+        Pipeline(
+            trace, _small_cache_config(), tracer=tracer, metrics=None,
+        ).run()
+        head_and_tail_max = len(
+            [e for e in tracer.events() if e[3] < 100]
+        ) + 500
+        assert len(tracer) <= head_and_tail_max
+        assert tracer.dropped > 0  # the run overflowed the tail window
+
+    def test_run_publishes_metrics(self):
+        registry = MetricsRegistry(enabled=True)
+        trace = load_trace("compress", scale=SCALE)
+        stats = Pipeline(
+            trace, _small_cache_config(), tracer=None, metrics=registry,
+        ).run()
+        snapshot = registry.snapshot()
+        labels = f"{{bench={stats.benchmark},scheme={stats.scheme}}}"
+        assert snapshot[f"sim.runs{labels}"] == 1
+        assert snapshot[f"sim.cycles{labels}"] == stats.cycles
+        assert snapshot[f"sim.ipc{labels}"] == pytest.approx(stats.ipc)
+        assert snapshot[f"rc.reads{labels}"] == stats.cache.reads
+        assert snapshot[f"dou.queries{labels}"] == stats.predictor_queries
+
+
+# ----------------------------------------------------------------------
+# Engine manifests and the gate round-trip.
+
+
+class TestEngineManifest:
+    def _jobs(self, with_failure=False):
+        jobs = [
+            SimJob(config=use_based_config(), trace_name=name, scale=SCALE)
+            for name in ("compress", "pointer_chase")
+        ]
+        if with_failure:
+            jobs.append(SimJob(
+                config=lru_config(), trace_name="no_such_kernel",
+                scale=SCALE,
+            ))
+        return jobs
+
+    def test_manifest_roundtrips_through_gate(self, tmp_path):
+        engine = ExperimentEngine(
+            workers=1, cache_dir=tmp_path, use_cache=True,
+        )
+        engine.run(self._jobs())          # cold: everything executes
+        engine.run(self._jobs())          # warm: everything cached
+        results = engine.run(
+            self._jobs(with_failure=True), raise_on_error=False,
+        )
+
+        manifest = tmp_path / "manifest.jsonl"
+        assert manifest.exists()
+        records = read_manifest(manifest)
+        summary = summarize_manifest(records)
+
+        # Totals agree with what the engine actually did.
+        assert summary["jobs"] == 7
+        assert summary["runs"] == 3
+        assert summary["cache_hits"] == engine.counters.cache_hits == 4
+        assert summary["cache_misses"] == engine.counters.executed == 3
+        assert summary["errors"] == engine.counters.errors == 1
+        assert summary["wall_seconds"] == pytest.approx(
+            engine.counters.job_seconds, abs=1e-3,
+        )
+
+        # The failure record carries the real traceback.
+        [failure] = summary["failures"]
+        assert "no_such_kernel" in failure["job"]
+        assert "Traceback" in str(
+            next(r for r in records if r.get("status") == "error")["error"]
+        )
+        assert not results[-1]  # JobFailure slots are falsy
+
+        # Round-trip: the summary is gate-comparable with itself...
+        metrics = extract_metrics(manifest)
+        regressions, compared = compare_metrics(metrics, dict(metrics))
+        assert regressions == [] and compared > 0
+        # ...and an error increase trips the gate.
+        worse = dict(metrics)
+        worse["errors"] += 1
+        regressions, _ = compare_metrics(metrics, worse)
+        assert [r.metric for r in regressions] == ["errors"]
+
+    def test_run_records_include_provenance(self, tmp_path):
+        engine = ExperimentEngine(
+            workers=1, cache_dir=tmp_path, use_cache=True,
+        )
+        engine.run(self._jobs())
+        records = read_manifest(tmp_path / "manifest.jsonl")
+        job_records = [r for r in records if r["kind"] == "job"]
+        run_records = [r for r in records if r["kind"] == "run"]
+        assert len(job_records) == 2 and len(run_records) == 1
+        for record in job_records:
+            assert record["trace"] == ["compress", SCALE, None] or (
+                record["trace"] == ["pointer_chase", SCALE, None]
+            )
+            assert record["config_hash"]
+            assert record["key"]
+            assert record["worker"]  # executed, so a real pid
+        assert run_records[0]["jobs"] == 2
+        assert run_records[0]["executed"] == 2
+
+    def test_manifest_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST", "0")
+        engine = ExperimentEngine(
+            workers=1, cache_dir=tmp_path, use_cache=True,
+        )
+        assert engine.manifest is None
+        engine.run(self._jobs()[:1])
+        assert not (tmp_path / "manifest.jsonl").exists()
+
+    def test_counters_expose_wall_percentiles(self, tmp_path):
+        engine = ExperimentEngine(
+            workers=1, cache_dir=tmp_path, use_cache=False,
+        )
+        before = engine.counters.snapshot()
+        engine.run(self._jobs())
+        delta = engine.counters.since(before)
+        assert delta["executed"] == 2
+        assert delta["job_seconds_p50"] > 0
+        assert delta["job_seconds_p95"] >= delta["job_seconds_p50"]
+
+    def test_obs_cli_summarize_matches_engine(self, tmp_path, capsys):
+        engine = ExperimentEngine(
+            workers=1, cache_dir=tmp_path, use_cache=True,
+        )
+        engine.run(self._jobs())
+        assert obs_main(
+            ["summarize", str(tmp_path / "manifest.jsonl")],
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["jobs"] == 2
+        assert summary["errors"] == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent cache writers.
+
+
+class TestConcurrentCacheWriters:
+    def test_racing_writers_and_readers_never_tear(self, tmp_path):
+        engine = ExperimentEngine(
+            workers=1, cache_dir=tmp_path, use_cache=True,
+        )
+        job = SimJob(
+            config=use_based_config(), trace_name="compress", scale=SCALE,
+        )
+        [stats] = engine.run([job])
+        expected = stats.to_dict()
+
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    engine._cache_store(job, stats)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(40):
+                    loaded = engine._cache_load(job)
+                    # A reader may race the very first publish (miss),
+                    # but must never see a torn/partial entry.
+                    if loaded is not None:
+                        assert loaded.to_dict() == expected
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = (
+            [threading.Thread(target=writer) for _ in range(4)]
+            + [threading.Thread(target=reader) for _ in range(4)]
+        )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # No leftover tmp files once all writers finished.
+        leftovers = [
+            p for p in tmp_path.rglob("*.tmp.*") if p.is_file()
+        ]
+        assert leftovers == []
+        assert engine._cache_load(job).to_dict() == expected

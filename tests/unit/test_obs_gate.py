@@ -1,0 +1,227 @@
+"""Unit tests for the regression gate (``repro.analysis.obs``)."""
+
+import json
+
+import pytest
+
+from repro.analysis.obs import (
+    Thresholds,
+    compare_files,
+    compare_metrics,
+    extract_metrics,
+    main,
+    suite_summary,
+)
+from repro.core.stats import SimStats
+from repro.obs.manifest import ManifestWriter
+
+
+class TestClassification:
+    def test_identical_metrics_pass(self):
+        metrics = {"suite.ipc": 1.2, "bench.gcc.seconds": 3.0}
+        regressions, compared = compare_metrics(metrics, dict(metrics))
+        assert regressions == []
+        assert compared == 2
+
+    def test_quality_drop_beyond_tolerance_fails(self):
+        regressions, _ = compare_metrics(
+            {"suite.ipc": 1.00}, {"suite.ipc": 0.90},
+        )
+        assert len(regressions) == 1
+        assert regressions[0].metric == "suite.ipc"
+        assert "REGRESSION" in str(regressions[0])
+
+    def test_quality_drop_within_tolerance_passes(self):
+        regressions, _ = compare_metrics(
+            {"suite.ipc": 1.00}, {"suite.ipc": 0.99},
+        )
+        assert regressions == []
+
+    def test_quality_improvement_passes(self):
+        regressions, _ = compare_metrics(
+            {"dou.accuracy": 0.80}, {"dou.accuracy": 0.95},
+        )
+        assert regressions == []
+
+    def test_miss_rate_rise_fails(self):
+        regressions, _ = compare_metrics(
+            {"bench.gcc.miss_rate": 0.10}, {"bench.gcc.miss_rate": 0.12},
+        )
+        assert len(regressions) == 1
+
+    def test_miss_rate_noise_floor(self):
+        # +0.001 absolute on a tiny base is under the 0.002 floor.
+        regressions, _ = compare_metrics(
+            {"bench.gcc.miss_rate": 0.0005}, {"bench.gcc.miss_rate": 0.0015},
+        )
+        assert regressions == []
+
+    def test_time_needs_relative_and_absolute_growth(self):
+        # +60% but only +0.03s absolute: under the floor, passes.
+        regressions, _ = compare_metrics(
+            {"bench.gcc.seconds": 0.05}, {"bench.gcc.seconds": 0.08},
+        )
+        assert regressions == []
+        # +60% and +0.6s absolute: fails.
+        regressions, _ = compare_metrics(
+            {"bench.gcc.seconds": 1.0}, {"bench.gcc.seconds": 1.6},
+        )
+        assert len(regressions) == 1
+
+    def test_error_count_must_never_increase(self):
+        regressions, _ = compare_metrics({"errors": 0}, {"errors": 1})
+        assert len(regressions) == 1
+        regressions, _ = compare_metrics({"errors": 2}, {"errors": 0})
+        assert regressions == []
+
+    def test_only_shared_metrics_compared(self):
+        regressions, compared = compare_metrics(
+            {"suite.ipc": 1.0, "old.metric.seconds": 9.0},
+            {"suite.ipc": 1.0, "new.metric.seconds": 0.1},
+        )
+        assert regressions == []
+        assert compared == 1
+
+    def test_contextual_metrics_not_gated(self):
+        # Cache warmth fluctuates run to run; hit counts must not gate.
+        regressions, _ = compare_metrics(
+            {"cache_hits": 100, "jobs": 10}, {"cache_hits": 0, "jobs": 10},
+        )
+        assert regressions == []
+
+    def test_custom_thresholds(self):
+        thresholds = Thresholds(rel_quality=0.5)
+        regressions, _ = compare_metrics(
+            {"suite.ipc": 1.0}, {"suite.ipc": 0.6}, thresholds,
+        )
+        assert regressions == []
+
+
+class TestExtraction:
+    def test_flat_dict_keeps_numbers_only(self):
+        metrics = extract_metrics(
+            {"ipc": 1.5, "name": "gcc", "ok": True, "jobs": 3},
+        )
+        assert metrics == {"ipc": 1.5, "jobs": 3.0}
+
+    def test_benchmark_json(self, tmp_path):
+        data = {
+            "benchmarks": [{
+                "name": "test_bench_fig11",
+                "stats": {"mean": 2.5},
+                "extra_info": {"engine": {
+                    "job_seconds": 1.25, "errors": 0,
+                }},
+            }],
+        }
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(data))
+        metrics = extract_metrics(path)
+        assert metrics["bench.test_bench_fig11.seconds"] == 2.5
+        assert metrics["bench.test_bench_fig11.job_seconds"] == 1.25
+        assert metrics["bench.test_bench_fig11.errors"] == 0.0
+
+    def test_experiment_json(self):
+        data = {
+            "experiment_id": "fig11",
+            "headers": ["config", "ipc", "miss_rate"],
+            "rows": [["16-entry", 1.2, 0.05], ["64-entry", 1.4, 0.01]],
+            "meta": {"engine": {"errors": 0}},
+        }
+        metrics = extract_metrics(data)
+        assert metrics["fig11.16-entry.ipc"] == 1.2
+        assert metrics["fig11.64-entry.miss_rate"] == 0.01
+        assert metrics["fig11.engine.errors"] == 0.0
+
+    def test_manifest_jsonl(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        ManifestWriter(path).append_all([
+            {"kind": "job", "run": "r", "job": "a", "status": "ok",
+             "cached": False, "wall": 1.0},
+            {"kind": "job", "run": "r", "job": "b", "status": "error",
+             "cached": False, "wall": 2.0, "error": "boom"},
+        ])
+        metrics = extract_metrics(path)
+        assert metrics["jobs"] == 2.0
+        assert metrics["errors"] == 1.0
+        assert metrics["wall_seconds"] == 3.0
+
+    def test_non_dict_artifact_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            extract_metrics(path)
+
+    def test_suite_summary_merges_and_flattens(self):
+        results = {
+            "gcc": SimStats(benchmark="gcc", scheme="use_based",
+                            cycles=100, retired=150),
+            "mcf": SimStats(benchmark="mcf", scheme="use_based",
+                            cycles=100, retired=50),
+        }
+        summary = suite_summary(results)
+        assert summary["suite.ipc"] == pytest.approx(1.0)
+        assert summary["bench.gcc.ipc"] == pytest.approx(1.5)
+        assert summary["bench.mcf.ipc"] == pytest.approx(0.5)
+
+
+class TestCli:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_compare_clean_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"suite.ipc": 1.0})
+        cur = self._write(tmp_path / "cur.json", {"suite.ipc": 1.0})
+        assert main(["compare", base, cur]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_compare_injected_ipc_regression_exits_nonzero(
+        self, tmp_path, capsys,
+    ):
+        base = self._write(tmp_path / "base.json", {"suite.ipc": 1.0})
+        cur = self._write(tmp_path / "cur.json", {"suite.ipc": 0.8})
+        assert main(["compare", base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION suite.ipc" in out
+
+    def test_compare_missing_file_exits_two(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"suite.ipc": 1.0})
+        assert main(["compare", base, str(tmp_path / "nope.json")]) == 2
+        assert "obs compare" in capsys.readouterr().err
+
+    def test_compare_threshold_flags(self, tmp_path):
+        base = self._write(tmp_path / "base.json", {"suite.ipc": 1.0})
+        cur = self._write(tmp_path / "cur.json", {"suite.ipc": 0.8})
+        assert main([
+            "compare", base, cur, "--rel-tol-quality", "0.5", "--quiet",
+        ]) == 0
+
+    def test_summarize_then_compare_roundtrip(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.jsonl"
+        ManifestWriter(manifest).append_all([
+            {"kind": "job", "run": "r", "job": "a", "status": "ok",
+             "cached": True, "wall": 0.0},
+            {"kind": "job", "run": "r", "job": "b", "status": "ok",
+             "cached": False, "wall": 1.0},
+        ])
+        summary_path = tmp_path / "summary.json"
+        assert main([
+            "summarize", str(manifest), "-o", str(summary_path),
+        ]) == 0
+        summary = json.loads(summary_path.read_text())
+        assert summary["jobs"] == 2
+        assert summary["cache_hits"] == 1
+        # The written summary is itself a valid gate artifact — against
+        # the live manifest it is identical, so the gate passes...
+        assert main([
+            "compare", str(summary_path), str(manifest), "--quiet",
+        ]) == 0
+        # ...and a new failure in the manifest trips the errors gate.
+        ManifestWriter(manifest).append(
+            {"kind": "job", "run": "r2", "job": "c", "status": "error",
+             "cached": False, "wall": 0.5, "error": "Traceback..."},
+        )
+        assert main([
+            "compare", str(summary_path), str(manifest), "--quiet",
+        ]) == 1

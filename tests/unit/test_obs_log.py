@@ -1,0 +1,68 @@
+"""Unit tests for logging setup and the rate-limited progress reporter."""
+
+import io
+import logging
+
+from repro.obs.log import ProgressReporter, get_logger, setup_logging
+
+
+class TestLoggerNamespace:
+    def test_get_logger_prefixes_repro(self):
+        assert get_logger("engine").name == "repro.engine"
+
+    def test_get_logger_keeps_existing_prefix(self):
+        assert get_logger("repro.engine").name == "repro.engine"
+
+
+class TestSetup:
+    def test_level_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        root = setup_logging(stream=io.StringIO(), force=True)
+        assert root.level == logging.DEBUG
+
+    def test_explicit_level_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        root = setup_logging(level="ERROR", stream=io.StringIO(), force=True)
+        assert root.level == logging.ERROR
+
+    def test_unknown_level_falls_back_to_warning(self):
+        root = setup_logging(level="NOPE", stream=io.StringIO(), force=True)
+        assert root.level == logging.WARNING
+
+    def test_idempotent_without_force(self):
+        setup_logging(stream=io.StringIO(), force=True)
+        root = setup_logging(stream=io.StringIO())
+        assert len(root.handlers) == 1
+
+
+class TestProgressReporter:
+    def _reporter(self, total, interval=0.0):
+        stream = io.StringIO()
+        setup_logging(level="INFO", stream=stream, force=True)
+        return ProgressReporter(total, interval=interval), stream
+
+    def test_final_update_always_logs(self):
+        reporter, stream = self._reporter(total=2, interval=9999.0)
+        reporter.update()
+        reporter.update()
+        text = stream.getvalue()
+        assert "2/2 jobs (100%)" in text
+
+    def test_rate_limit_suppresses_intermediate_lines(self):
+        reporter, stream = self._reporter(total=100, interval=9999.0)
+        for _ in range(99):
+            reporter.update()
+        # First update emits (last_emit starts at 0), the rest are
+        # suppressed by the huge interval.
+        lines = [l for l in stream.getvalue().splitlines() if "jobs" in l]
+        assert len(lines) == 1
+
+    def test_context_kwargs_appear_in_line(self):
+        reporter, stream = self._reporter(total=1)
+        reporter.update(hit_rate="50%")
+        assert "hit_rate 50%" in stream.getvalue()
+
+    def test_explicit_done_value(self):
+        reporter, stream = self._reporter(total=10)
+        reporter.update(done=10)
+        assert "10/10 jobs (100%)" in stream.getvalue()

@@ -1,0 +1,140 @@
+"""Unit tests for the :mod:`repro.obs.metrics` registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_SAMPLE_CAP,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    configure_metrics,
+    get_metrics,
+    percentile,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(-1)
+        assert gauge.value == -1
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["max"] == pytest.approx(4.0)
+        # Nearest-rank with banker's rounding: round(0.5 * 3) == 2.
+        assert summary["p50"] == pytest.approx(3.0)
+        assert summary["p95"] == pytest.approx(4.0)
+
+    def test_histogram_empty_summary_is_zeros(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p95"] == 0.0
+
+    def test_histogram_caps_samples_but_keeps_totals(self):
+        hist = Histogram()
+        n = HISTOGRAM_SAMPLE_CAP + 100
+        for value in range(n):
+            hist.observe(float(value))
+        assert hist.count == n
+        assert hist.max == float(n - 1)
+        assert len(hist._samples) == HISTOGRAM_SAMPLE_CAP
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.95) == 7.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 3.0
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+
+class TestRegistry:
+    def test_enabled_registry_returns_live_instruments(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("jobs").inc(2)
+        registry.gauge("ipc").set(1.25)
+        registry.histogram("wall").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["jobs"] == 2
+        assert snapshot["ipc"] == 1.25
+        assert snapshot["wall"]["count"] == 1
+
+    def test_same_name_and_labels_share_instrument(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("hits", bench="gcc").inc()
+        registry.counter("hits", bench="gcc").inc()
+        registry.counter("hits", bench="mcf").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["hits{bench=gcc}"] == 2
+        assert snapshot["hits{bench=mcf}"] == 1
+
+    def test_label_keys_are_sorted_in_flat_key(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("x", b="2", a="1").inc()
+        assert "x{a=1,b=2}" in registry.snapshot()
+
+    def test_disabled_registry_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("jobs") is NULL_COUNTER
+        assert registry.gauge("ipc") is NULL_GAUGE
+        assert registry.histogram("wall") is NULL_HISTOGRAM
+        registry.counter("jobs").inc(100)
+        registry.publish("sim", {"cycles": 5})
+        assert registry.snapshot() == {}
+
+    def test_publish_folds_numeric_dict(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.publish(
+            "sim",
+            {"cycles": 100, "ipc": 1.5, "benchmark": "gcc", "flag": True},
+            bench="gcc",
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["sim.cycles{bench=gcc}"] == 100
+        assert snapshot["sim.ipc{bench=gcc}"] == 1.5
+        # Strings and bools are not metrics.
+        assert not any("benchmark" in key for key in snapshot)
+        assert not any("flag" in key for key in snapshot)
+
+    def test_publish_accumulates_across_runs(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.publish("sim", {"cycles": 100})
+        registry.publish("sim", {"cycles": 50})
+        assert registry.snapshot()["sim.cycles"] == 150
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("jobs").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestModuleLevel:
+    def test_configure_metrics_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        assert configure_metrics().enabled is False
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        assert configure_metrics().enabled is True
+        monkeypatch.delenv("REPRO_METRICS")
+        assert configure_metrics().enabled is True  # default on
+
+    def test_get_metrics_returns_registry(self):
+        registry = configure_metrics()
+        assert get_metrics() is registry

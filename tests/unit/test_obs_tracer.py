@@ -1,0 +1,129 @@
+"""Unit tests for the windowed event tracer and its Chrome export."""
+
+import json
+
+from repro.obs.tracer import (
+    DEFAULT_HEAD_CYCLES,
+    DEFAULT_TAIL_EVENTS,
+    EventTracer,
+    trace_events_enabled,
+    trace_file_for,
+    tracer_from_env,
+)
+
+
+class TestWindowing:
+    def test_head_events_kept_in_full(self):
+        tracer = EventTracer(head_cycles=10, tail_events=4)
+        for cycle in range(10):
+            tracer.emit("fetch", "pipeline", cycle)
+        assert len(tracer) == 10
+        assert tracer.dropped == 0
+
+    def test_tail_is_a_ring_buffer(self):
+        tracer = EventTracer(head_cycles=0, tail_events=4)
+        for cycle in range(10):
+            tracer.emit("fetch", "pipeline", cycle)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # The retained tail is the most recent events.
+        cycles = [event[3] for event in tracer.events()]
+        assert cycles == [6, 7, 8, 9]
+
+    def test_head_and_tail_combine_in_order(self):
+        tracer = EventTracer(head_cycles=3, tail_events=2)
+        for cycle in range(8):
+            tracer.emit("e", "c", cycle)
+        cycles = [event[3] for event in tracer.events()]
+        assert cycles == [0, 1, 2, 6, 7]
+
+    def test_names_reports_distinct_event_names(self):
+        tracer = EventTracer()
+        tracer.emit("rc_hit", "cache", 1)
+        tracer.emit("rc_miss", "cache", 2)
+        tracer.emit("rc_hit", "cache", 3)
+        assert tracer.names() == {"rc_hit", "rc_miss"}
+
+
+class TestChromeExport:
+    def test_chrome_schema_shape(self):
+        tracer = EventTracer()
+        tracer.emit("rc_hit", "cache", 5, args={"preg": 3})
+        tracer.emit("issue", "pipeline", 7, duration=4)
+        tracer.counter("occupancy", 9, used=12.0)
+        doc = tracer.to_chrome()
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == 3
+        for event in doc["traceEvents"]:
+            assert isinstance(event["name"], str)
+            assert isinstance(event["cat"], str)
+            assert event["ph"] in ("i", "X", "C")
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        instant, span, counter = doc["traceEvents"]
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert instant["args"] == {"preg": 3}
+        assert span["ph"] == "X" and span["dur"] == 4.0
+        assert counter["ph"] == "C" and counter["args"] == {"used": 12.0}
+        # Categories become distinct lanes.
+        assert doc["otherData"]["lanes"].keys() == {
+            "cache", "pipeline", "counter",
+        }
+
+    def test_chrome_doc_is_json_serializable(self):
+        tracer = EventTracer()
+        tracer.emit("fetch", "pipeline", 0, args={"pc": 64})
+        parsed = json.loads(json.dumps(tracer.to_chrome()))
+        assert parsed["traceEvents"][0]["name"] == "fetch"
+
+    def test_write_roundtrip(self, tmp_path):
+        tracer = EventTracer()
+        tracer.emit("fetch", "pipeline", 0)
+        out = tmp_path / "trace.json"
+        tracer.write(out)
+        parsed = json.loads(out.read_text())
+        assert parsed["otherData"]["source"] == "repro.obs.tracer"
+
+    def test_write_is_best_effort(self, tmp_path):
+        tracer = EventTracer()
+        tracer.emit("fetch", "pipeline", 0)
+        tracer.write(tmp_path / "no" / "such" / "dir" / "t.json")  # no raise
+
+
+class TestEnvWiring:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_EVENTS", raising=False)
+        assert trace_events_enabled() is False
+        assert tracer_from_env() is None
+
+    def test_enabled_values(self, monkeypatch):
+        for value in ("1", "true", "on", "yes", "TRUE"):
+            monkeypatch.setenv("REPRO_TRACE_EVENTS", value)
+            assert trace_events_enabled() is True
+        monkeypatch.setenv("REPRO_TRACE_EVENTS", "0")
+        assert trace_events_enabled() is False
+
+    def test_tracer_from_env_reads_window_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_EVENTS", "1")
+        monkeypatch.setenv("REPRO_TRACE_HEAD", "123")
+        monkeypatch.setenv("REPRO_TRACE_TAIL", "456")
+        tracer = tracer_from_env()
+        assert tracer.head_cycles == 123
+        assert tracer.tail_events == 456
+
+    def test_tracer_from_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_EVENTS", "1")
+        monkeypatch.delenv("REPRO_TRACE_HEAD", raising=False)
+        monkeypatch.delenv("REPRO_TRACE_TAIL", raising=False)
+        tracer = tracer_from_env()
+        assert tracer.head_cycles == DEFAULT_HEAD_CYCLES
+        assert tracer.tail_events == DEFAULT_TAIL_EVENTS
+
+    def test_trace_file_for_sanitizes_and_overrides(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+        assert trace_file_for("gcc/2", "use based") == (
+            "repro-trace-gcc_2-use_based.json"
+        )
+        monkeypatch.setenv("REPRO_TRACE_FILE", "/tmp/my.json")
+        assert trace_file_for("gcc", "base") == "/tmp/my.json"

@@ -1,0 +1,87 @@
+"""Unit tests for ASCII rendering edge cases and engine/failure notes."""
+
+from repro.analysis.report import ExperimentResult, _format_cell, render
+
+
+class TestFormatCell:
+    def test_bool_before_float_and_int(self):
+        # bool is an int subclass; it must not hit the numeric branches.
+        assert _format_cell(True) == "yes"
+        assert _format_cell(False) == "no"
+
+    def test_float_zero(self):
+        assert _format_cell(0.0) == "0"
+        assert _format_cell(-0.0) == "0"
+
+    def test_float_magnitude_buckets(self):
+        assert _format_cell(123.456) == "123.5"
+        assert _format_cell(-123.456) == "-123.5"
+        assert _format_cell(1.23456) == "1.235"
+        assert _format_cell(0.123456) == "0.1235"
+
+    def test_int_passes_through(self):
+        assert _format_cell(42) == "42"
+        assert _format_cell(0) == "0"
+
+    def test_strings_and_none(self):
+        assert _format_cell("gcc") == "gcc"
+        assert _format_cell(None) == "None"
+
+
+class TestRender:
+    def _result(self, **overrides):
+        fields = dict(
+            experiment_id="fig0",
+            title="Test",
+            headers=["config", "ipc"],
+            rows=[["base", 1.25]],
+        )
+        fields.update(overrides)
+        return ExperimentResult(**fields)
+
+    def test_empty_rows_renders_header_only(self):
+        text = render(self._result(rows=[]))
+        assert "== fig0: Test ==" in text
+        assert "config" in text
+        # Header + separator + title, no data lines.
+        assert len(text.splitlines()) == 3
+
+    def test_bool_and_zero_cells_in_table(self):
+        text = render(self._result(
+            headers=["config", "ok", "rate"],
+            rows=[["base", True, 0.0], ["alt", False, 0.5]],
+        ))
+        assert "yes" in text and "no" in text
+        lines = text.splitlines()
+        assert any(line.endswith("0") for line in lines)
+
+    def test_engine_meta_becomes_activity_note(self):
+        text = render(self._result(meta={"engine": {
+            "jobs": 12, "cache_hits": 9, "executed": 3,
+            "engine_seconds": 1.5, "job_seconds_p95": 0.42,
+        }}))
+        assert "engine: 12 jobs, 9 cached, 3 run, 1.50s" in text
+        assert "job p95 0.420s" in text
+
+    def test_engine_meta_with_failures(self):
+        text = render(self._result(meta={
+            "engine": {"jobs": 2, "cache_hits": 0, "executed": 2,
+                       "errors": 1},
+            "failures": [
+                {"job": "fig11/gcc", "error":
+                 "Traceback ...\nSimulationError: deadlock"},
+                "plain-string failure",
+            ],
+        }))
+        assert "1 FAILED" in text
+        # Only the last traceback line surfaces.
+        assert "failed: fig11/gcc: SimulationError: deadlock" in text
+        assert "failed: plain-string failure" in text
+
+    def test_no_engine_meta_no_note(self):
+        text = render(self._result())
+        assert "engine:" not in text
+
+    def test_empty_engine_meta_ignored(self):
+        text = render(self._result(meta={"engine": {"jobs": 0}}))
+        assert "engine:" not in text
