@@ -17,17 +17,44 @@ of ``(MachineConfig, trace)`` pairs. This module owns that execution:
   ``preg``/``monolithic`` variants) hit the cache instead of
   re-simulating, and any edit to the simulator code automatically
   invalidates stale entries.
+* **Fault tolerance** — each job can carry a wall-clock budget
+  (``REPRO_JOB_TIMEOUT``): a worker-side ``SIGALRM`` unwinds a hung
+  simulation and an engine-side watchdog terminates workers that
+  cannot even do that. Any failed attempt — error, timeout, crashed
+  worker, invalid result — is retried up to ``REPRO_JOB_RETRIES``
+  times with exponential backoff, in a fresh pool if the old one was
+  poisoned. A crashed worker therefore costs one retry round, not the
+  sweep.
+* **Validation before caching** — every freshly executed result must
+  pass the differential oracle's conservation invariants
+  (:func:`repro.testing.oracle.validate_stats`) and a serialization
+  round-trip *before* it is returned or written to the result cache,
+  so a half-unwound worker can never publish a corrupted result.
+* **Checkpoint/resume** — runs append ``checkpoint`` records
+  (``start`` / ``interrupted`` / ``complete``) to the manifest, and
+  per-job records are written as jobs finish, so a sweep killed by
+  SIGINT or a crash leaves a resumable trail: re-running the same
+  sweep re-executes only the jobs whose results are not yet in the
+  content-addressed cache. With ``REPRO_RESUME`` armed the engine also
+  counts how many cache hits correspond to jobs completed by an
+  earlier (interrupted) run — ``counters.resumed`` — so tests and
+  operators can verify that only the missing jobs re-ran.
+* **Graceful degradation** — with ``raise_on_error=False`` a sweep
+  with failed jobs returns partial results whose failed slots hold
+  falsy :class:`JobFailure` records (explicit holes), and every
+  failure is also appended to :attr:`ExperimentEngine.failure_log` so
+  reports can render what is missing instead of the run raising.
 * **Error capture** — a worker failure is captured per job (with its
   traceback) rather than poisoning the whole sweep; by default the
-  first failure re-raises as :class:`~repro.errors.EngineError`.
-* **Observability** — the engine counts jobs, cache hits/misses, and
-  per-job wall-clock (including p50/p95) so experiment results and
-  bench JSONs can track the perf trajectory of the harness itself; it
-  logs live progress (jobs done/total, ETA, cache hit rate) through
-  :mod:`repro.obs.log`; and every run appends per-job records — job
-  identity, config hash, trace provenance, cache hit/miss, wall-clock,
-  worker pid, failure traceback — to a JSONL manifest under the cache
-  directory (:mod:`repro.obs.manifest`), which the regression gate
+  first captured failure re-raises as
+  :class:`~repro.errors.EngineError`.
+* **Observability** — the engine counts jobs, cache hits/misses,
+  retries, timeouts, resumed jobs, and per-job wall-clock (including
+  p50/p95); it logs live progress through :mod:`repro.obs.log`; and
+  every run appends per-job records — job identity, config hash, trace
+  provenance, cache hit/miss, wall-clock, worker pid, failure
+  traceback — to a JSONL manifest under the cache directory
+  (:mod:`repro.obs.manifest`), which the regression gate
   (``python -m repro.analysis.obs``) summarizes and diffs.
 
 Environment knobs (read when the shared engine is created):
@@ -36,6 +63,16 @@ Environment knobs (read when the shared engine is created):
   = one per CPU).
 * ``REPRO_CACHE`` — set to ``0`` to disable the on-disk result cache.
 * ``REPRO_CACHE_DIR`` — cache location (default ``.repro-cache``).
+* ``REPRO_JOB_TIMEOUT`` — per-job wall-clock budget in seconds
+  (``0``/unset = no budget).
+* ``REPRO_JOB_RETRIES`` — how many times a failed attempt is retried
+  (``0``/unset = fail fast, preserving historical behavior).
+* ``REPRO_RETRY_BACKOFF`` — base delay in seconds between retry
+  rounds; round *n* waits ``backoff * 2**(n-1)`` (default 0.05).
+* ``REPRO_RESUME`` — arm resume accounting: cache hits whose job keys
+  appear as completed in the manifest count as ``resumed``.
+* ``REPRO_FAULTS`` — arm the deterministic fault-injection plan (see
+  :mod:`repro.testing.faults`); inert unless set.
 * ``REPRO_MANIFEST`` — ``0`` disables run manifests; a path overrides
   the default ``<cache_dir>/manifest.jsonl``.
 * ``REPRO_LOG_LEVEL`` — progress/diagnostic logging level (the engine
@@ -52,21 +89,30 @@ import itertools
 import json
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
 import uuid
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.config import MachineConfig
 from repro.core.pipeline import Pipeline
 from repro.core.stats import STATS_SCHEMA_VERSION, SimStats
-from repro.errors import EngineError
+from repro.errors import EngineError, JobTimeoutError
 from repro.obs.log import ProgressReporter, get_logger
-from repro.obs.manifest import ManifestWriter, manifest_path_for
+from repro.obs.manifest import (
+    ManifestWriter,
+    completed_job_keys,
+    manifest_path_for,
+    read_manifest,
+)
 from repro.obs.metrics import Histogram, get_metrics
+from repro.testing import faults, oracle
 from repro.vm.trace import Trace
 from repro.workloads.suite import load_trace, trace_counters, warm_trace_cache
 
@@ -79,6 +125,9 @@ _tmp_counter = itertools.count()
 #: Bump to invalidate every cached result regardless of code changes
 #: (e.g. when the cache file layout itself changes).
 CACHE_SCHEMA_VERSION = 1
+
+#: Ceiling on the exponential retry backoff, seconds.
+MAX_RETRY_BACKOFF = 30.0
 
 _code_fingerprint_memo: str | None = None
 
@@ -164,6 +213,14 @@ class SimJob:
             return self.trace
         return load_trace(self.trace_name, scale=self.scale, seed=self.seed)
 
+    def fault_identity(self) -> str:
+        """Stable identity for fault-plan decisions (same in any process)."""
+        return (
+            f"{self.trace_name or self.label or 'trace'}"
+            f":{float(self.scale)}:{self.seed}"
+            f":{self.config.config_hash()}"
+        )
+
     def cache_key(self) -> str:
         """Content-addressed identity of this job's result."""
         payload = json.dumps(
@@ -181,29 +238,99 @@ class SimJob:
 
 @dataclass
 class JobFailure:
-    """Captured failure of one job (kept instead of a SimStats)."""
+    """Captured failure of one job (kept instead of a SimStats).
+
+    ``kind`` distinguishes how the final attempt died: ``error``
+    (exception in the simulator), ``timeout`` (wall-clock budget),
+    ``crash`` (worker process died), ``invalid`` (result rejected by
+    the oracle's conservation invariants).
+    """
 
     job: SimJob
     error: str
+    kind: str = "error"
 
     def __bool__(self) -> bool:  # failed jobs are falsy result slots
         return False
 
 
-def _execute_job(job: SimJob) -> tuple[str, object, float, int]:
+def _sweep_key(keys: Sequence[str | None]) -> str:
+    """Stable identity of a sweep: the set of job cache keys it covers."""
+    material = json.dumps(sorted(key for key in keys if key is not None))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Worker shim.
+
+
+def _raise_job_timeout(signum, frame):  # pragma: no cover - signal path
+    raise JobTimeoutError("job exceeded its wall-clock budget")
+
+
+def _alarm_usable() -> bool:
+    """SIGALRM timeouts need a main thread on a POSIX platform."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _execute_job(
+    job: SimJob,
+    attempt: int = 0,
+    timeout: float = 0.0,
+    allow_crash: bool = False,
+) -> tuple[str, object, float, int | None]:
     """Run one job; never raises (worker-side error capture).
 
-    Returns ``("ok", SimStats, wall_seconds, worker_pid)`` or
-    ``("error", traceback_text, wall_seconds, worker_pid)``. Runs in
-    worker processes, so it must stay module-level (picklable by
-    reference).
+    Returns ``(status, payload, wall_seconds, worker_pid)`` where
+    *status* is ``ok`` (payload = SimStats), ``timeout``, ``crash``
+    (an injected fault on the in-process path), or ``error`` (payload
+    = traceback text). Runs in worker processes, so it must stay
+    module-level (picklable by reference). *attempt* is the engine's
+    retry counter — it feeds the fault plan so injected faults are
+    deterministic across processes and a retried attempt can
+    deterministically succeed.
+
+    With *timeout* > 0 a ``SIGALRM`` one-shot timer bounds the job's
+    wall clock; *allow_crash* lets the ``crash`` fault site call
+    ``os._exit`` (pool workers only — in-process execution raises
+    instead, so the host survives).
     """
     start = time.perf_counter()
     pid = os.getpid()
     try:
-        trace = job.resolve_trace()
-        stats = Pipeline(trace, job.config).run()
-        return ("ok", stats, time.perf_counter() - start, pid)
+        identity = job.fault_identity() if faults.enabled() else ""
+        armed = False
+        previous = None
+        try:
+            if timeout > 0 and _alarm_usable():
+                previous = signal.signal(signal.SIGALRM, _raise_job_timeout)
+                signal.setitimer(signal.ITIMER_REAL, timeout)
+                armed = True
+            faults.crash_point(identity, attempt, allow_exit=allow_crash)
+            faults.hang_point(identity, attempt)
+            trace = job.resolve_trace()
+            stats = Pipeline(trace, job.config).run()
+            if faults.fire("bad_stats", identity, attempt):
+                stats.retired = -stats.retired - 1
+            return ("ok", stats, time.perf_counter() - start, pid)
+        finally:
+            if armed:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous)
+    except JobTimeoutError:
+        return (
+            "timeout",
+            f"exceeded {timeout:.3f}s wall-clock budget "
+            f"(attempt {attempt})",
+            time.perf_counter() - start, pid,
+        )
+    except faults.InjectedFault:
+        return (
+            "crash", traceback.format_exc(), time.perf_counter() - start, pid,
+        )
     except Exception:
         return (
             "error", traceback.format_exc(), time.perf_counter() - start, pid,
@@ -228,6 +355,9 @@ class EngineCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     errors: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    resumed: int = 0
     parallel_jobs: int = 0
     serial_fallbacks: int = 0
     job_seconds: float = 0.0
@@ -255,6 +385,9 @@ class EngineCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "errors": self.errors,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
             "parallel_jobs": self.parallel_jobs,
             "serial_fallbacks": self.serial_fallbacks,
             "job_seconds": round(self.job_seconds, 6),
@@ -301,6 +434,15 @@ class ExperimentEngine:
             ``REPRO_CACHE_DIR`` (default ``.repro-cache``).
         use_cache: disable to always re-simulate; ``None`` reads
             ``REPRO_CACHE`` (anything but ``0``/``false`` enables).
+        job_timeout: per-job wall-clock budget in seconds; ``None``
+            reads ``REPRO_JOB_TIMEOUT`` (default 0 = unbounded).
+        retries: bounded retry count for failed attempts; ``None``
+            reads ``REPRO_JOB_RETRIES`` (default 0 = fail fast).
+        retry_backoff: base delay between retry rounds; ``None`` reads
+            ``REPRO_RETRY_BACKOFF`` (default 0.05s, doubling per round,
+            capped at :data:`MAX_RETRY_BACKOFF`).
+        resume: count cache hits recorded as completed in the manifest
+            as resumed jobs; ``None`` reads ``REPRO_RESUME``.
     """
 
     def __init__(
@@ -308,6 +450,10 @@ class ExperimentEngine:
         workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         use_cache: bool | None = None,
+        job_timeout: float | None = None,
+        retries: int | None = None,
+        retry_backoff: float | None = None,
+        resume: bool | None = None,
     ) -> None:
         if workers is None:
             workers = _parse_jobs(os.environ.get("REPRO_JOBS"))
@@ -322,7 +468,28 @@ class ExperimentEngine:
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
         self.cache_dir = Path(cache_dir)
+        if job_timeout is None:
+            job_timeout = _parse_float(
+                os.environ.get("REPRO_JOB_TIMEOUT"), 0.0,
+            )
+        self.job_timeout = max(0.0, job_timeout)
+        if retries is None:
+            retries = _parse_int(os.environ.get("REPRO_JOB_RETRIES"), 0)
+        self.retries = max(0, retries)
+        if retry_backoff is None:
+            retry_backoff = _parse_float(
+                os.environ.get("REPRO_RETRY_BACKOFF"), 0.05,
+            )
+        self.retry_backoff = max(0.0, retry_backoff)
+        if resume is None:
+            resume = os.environ.get("REPRO_RESUME", "").lower() in (
+                "1", "true", "on", "yes",
+            )
+        self.resume = bool(resume)
         self.counters = EngineCounters()
+        #: Every JobFailure this engine has returned (graceful-degradation
+        #: consumers read the tail to report holes).
+        self.failure_log: list[JobFailure] = []
         manifest_path = manifest_path_for(self.cache_dir)
         self.manifest: ManifestWriter | None = (
             None if manifest_path is None else ManifestWriter(manifest_path)
@@ -341,10 +508,14 @@ class ExperimentEngine:
         """Execute *jobs*, returning results in job order.
 
         Cached results are loaded without simulating; the remainder run
-        serially or across a process pool. With ``raise_on_error`` (the
-        default) the first captured failure re-raises as
-        :class:`EngineError`; otherwise failed slots hold
-        :class:`JobFailure` records.
+        serially or across a process pool, with per-job timeouts and
+        bounded retries when configured. Results and manifest records
+        are published incrementally as jobs finish, so an interrupted
+        run leaves a resumable trail (re-running skips everything
+        already cached). With ``raise_on_error`` (the default) the
+        first captured failure re-raises as :class:`EngineError`;
+        otherwise failed slots hold falsy :class:`JobFailure` records
+        and the sweep degrades to partial results.
         """
         start = time.perf_counter()
         jobs = list(jobs)
@@ -352,31 +523,51 @@ class ExperimentEngine:
         counters.jobs += len(jobs)
         results: list[SimStats | JobFailure | None] = [None] * len(jobs)
         run_id = uuid.uuid4().hex[:12]
-        manifest_records: list[dict] = []
+        keys = [job.cache_key() if job.cacheable else None for job in jobs]
+        sweep = _sweep_key(keys)
 
+        resumable: frozenset[str] = frozenset()
+        if self.resume and self.manifest is not None:
+            resumable = completed_job_keys(
+                read_manifest(self.manifest.path),
+            )
+
+        prelude: list[dict] = []
         pending: list[int] = []
         for index, job in enumerate(jobs):
-            if self.use_cache and job.cacheable:
-                cached = self._cache_load(job)
+            key = keys[index]
+            if self.use_cache and key is not None:
+                cached = self._cache_load(job, key=key)
                 if cached is not None:
                     counters.cache_hits += 1
+                    if key in resumable:
+                        counters.resumed += 1
                     results[index] = cached
                     if self.manifest is not None:
-                        manifest_records.append(
+                        prelude.append(
                             self._manifest_record(
-                                run_id, job, cached=True, status="ok",
-                                wall=0.0, worker=None,
+                                run_id, sweep, job, key, cached=True,
+                                status="ok", wall=0.0, worker=None,
                             )
                         )
                     continue
                 counters.cache_misses += 1
             pending.append(index)
 
+        workers = self._resolve_workers(workers, len(pending)) if pending \
+            else 0
         _log.info(
-            "run %s: %d jobs (%d cached, %d to execute, %d workers)",
-            run_id, len(jobs), len(jobs) - len(pending), len(pending),
-            self._resolve_workers(workers, len(pending)) if pending else 0,
+            "run %s: %d jobs (%d cached, %d resumed, %d to execute, "
+            "%d workers)",
+            run_id, len(jobs), len(jobs) - len(pending),
+            counters.resumed, len(pending), workers,
         )
+        if self.manifest is not None and jobs:
+            prelude.append(self._checkpoint_record(
+                run_id, sweep, "start", jobs=len(jobs),
+                cached=len(jobs) - len(pending), pending=len(pending),
+            ))
+            self.manifest.append_all(prelude)
 
         failures: list[JobFailure] = []
         run_wall = 0.0
@@ -384,7 +575,6 @@ class ExperimentEngine:
             trace_before = trace_counters().snapshot()
             pending_jobs = [jobs[index] for index in pending]
             self._warm_traces(pending_jobs)
-            workers = self._resolve_workers(workers, len(pending))
             hit_rate = (
                 f"{counters.cache_hits}/{counters.jobs}"
                 if counters.jobs else "0/0"
@@ -393,34 +583,53 @@ class ExperimentEngine:
                 total=len(pending), logger=_log,
                 label=f"run {run_id}",
             )
-            outcomes = self._execute_pending(pending_jobs, workers, progress)
-            for index, outcome in zip(pending, outcomes):
-                status, payload, wall, worker = outcome
-                job = jobs[index]
-                counters.record_job(wall)
-                run_wall += wall
-                if status == "ok":
-                    if self.use_cache and job.cacheable:
-                        self._cache_store(job, payload)
-                    results[index] = payload
-                    error = None
-                else:
-                    counters.errors += 1
-                    failure = JobFailure(job=job, error=payload)
-                    failures.append(failure)
-                    results[index] = failure
-                    error = payload
-                    _log.warning(
-                        "run %s: job %s failed on worker %s",
-                        run_id, job.describe(), worker,
-                    )
-                if self.manifest is not None:
-                    manifest_records.append(
-                        self._manifest_record(
-                            run_id, job, cached=False, status=status,
-                            wall=wall, worker=worker, error=error,
+            try:
+                recovery = self._execute_with_recovery(
+                    pending_jobs, workers, progress,
+                )
+                for local_index, outcome in recovery:
+                    index = pending[local_index]
+                    job = jobs[index]
+                    status, payload, wall, worker = outcome
+                    counters.record_job(wall)
+                    run_wall += wall
+                    if status == "ok":
+                        if self.use_cache and keys[index] is not None:
+                            self._cache_store(job, payload, key=keys[index])
+                        results[index] = payload
+                        error = None
+                    else:
+                        counters.errors += 1
+                        failure = JobFailure(
+                            job=job, error=payload, kind=status,
                         )
-                    )
+                        failures.append(failure)
+                        results[index] = failure
+                        error = payload
+                        _log.warning(
+                            "run %s: job %s failed (%s) on worker %s",
+                            run_id, job.describe(), status, worker,
+                        )
+                    if self.manifest is not None:
+                        self.manifest.append(
+                            self._manifest_record(
+                                run_id, sweep, job, keys[index],
+                                cached=False, status=status, wall=wall,
+                                worker=worker, error=error,
+                            )
+                        )
+            except BaseException:
+                # SIGINT / crash mid-sweep: record where we got to so a
+                # resumed run can prove it only re-ran the missing jobs.
+                counters.engine_seconds += time.perf_counter() - start
+                if self.manifest is not None:
+                    self.manifest.append(self._checkpoint_record(
+                        run_id, sweep, "interrupted", jobs=len(jobs),
+                        done=sum(
+                            1 for slot in results if slot is not None
+                        ),
+                    ))
+                raise
             trace_delta = trace_counters().since(trace_before)
             counters.traces_generated += int(trace_delta["traces_generated"])
             counters.traces_loaded += int(trace_delta["traces_loaded"])
@@ -433,13 +642,28 @@ class ExperimentEngine:
 
         engine_wall = time.perf_counter() - start
         counters.engine_seconds += engine_wall
-        self._write_manifest(
-            run_id, manifest_records, len(jobs), len(pending),
-            len(failures), engine_wall,
-        )
+        if self.manifest is not None and jobs:
+            self.manifest.append_all([
+                {
+                    "kind": "run",
+                    "run": run_id,
+                    "ts": round(time.time(), 3),
+                    "jobs": len(jobs),
+                    "cached": len(jobs) - len(pending),
+                    "executed": len(pending),
+                    "errors": len(failures),
+                    "workers": self.workers,
+                    "engine_seconds": round(engine_wall, 6),
+                },
+                self._checkpoint_record(
+                    run_id, sweep, "complete", jobs=len(jobs),
+                    errors=len(failures),
+                ),
+            ])
         self._publish_metrics(
             len(jobs), len(pending), len(failures), run_wall,
         )
+        self.failure_log.extend(failures)
         if failures and raise_on_error:
             first = failures[0]
             raise EngineError(
@@ -454,7 +678,9 @@ class ExperimentEngine:
     def _manifest_record(
         self,
         run_id: str,
+        sweep: str,
         job: SimJob,
+        key: str | None,
         *,
         cached: bool,
         status: str,
@@ -465,11 +691,12 @@ class ExperimentEngine:
         record = {
             "kind": "job",
             "run": run_id,
+            "sweep": sweep,
             "ts": round(time.time(), 3),
             "job": job.describe(),
             "trace": [job.trace_name, float(job.scale), job.seed],
             "config_hash": job.config.config_hash(),
-            "key": job.cache_key() if job.cacheable else None,
+            "key": key,
             "cached": cached,
             "status": status,
             "wall": round(wall, 6),
@@ -479,30 +706,19 @@ class ExperimentEngine:
             record["error"] = error
         return record
 
-    def _write_manifest(
-        self,
-        run_id: str,
-        records: list[dict],
-        jobs: int,
-        executed: int,
-        errors: int,
-        engine_wall: float,
-    ) -> None:
-        """Append this run's job records plus a run-summary record."""
-        if self.manifest is None or not jobs:
-            return
-        records = records + [{
-            "kind": "run",
+    def _checkpoint_record(
+        self, run_id: str, sweep: str, event: str, **extra,
+    ) -> dict:
+        record = {
+            "kind": "checkpoint",
             "run": run_id,
+            "sweep": sweep,
+            "event": event,
             "ts": round(time.time(), 3),
-            "jobs": jobs,
-            "cached": jobs - executed,
-            "executed": executed,
-            "errors": errors,
             "workers": self.workers,
-            "engine_seconds": round(engine_wall, 6),
-        }]
-        self.manifest.append_all(records)
+        }
+        record.update(extra)
+        return record
 
     def _publish_metrics(
         self, jobs: int, executed: int, errors: int, run_wall: float,
@@ -516,6 +732,8 @@ class ExperimentEngine:
             "executed": executed,
             "cache_hits": jobs - executed,
             "errors": errors,
+            "retries": self.counters.retries,
+            "timeouts": self.counters.timeouts,
             "job_seconds": round(run_wall, 6),
         })
 
@@ -525,13 +743,19 @@ class ExperimentEngine:
         config: MachineConfig,
         *,
         workers: int | None = None,
-    ) -> dict[str, SimStats]:
-        """Simulate every named trace under *config* (cached, parallel)."""
+        raise_on_error: bool = True,
+    ) -> dict[str, SimStats | JobFailure]:
+        """Simulate every named trace under *config* (cached, parallel).
+
+        With ``raise_on_error=False`` failed names map to falsy
+        :class:`JobFailure` holes instead of the call raising.
+        """
         jobs = [
             SimJob.for_trace(trace, config, label=name)
             for name, trace in traces.items()
         ]
-        stats = self.run(jobs, workers=workers)
+        stats = self.run(jobs, workers=workers,
+                         raise_on_error=raise_on_error)
         return dict(zip(traces.keys(), stats))
 
     # ------------------------------------------------------------------
@@ -568,46 +792,196 @@ class ExperimentEngine:
             workers = os.cpu_count() or 1
         return max(1, min(workers, pending))
 
-    def _execute_pending(
+    def _execute_with_recovery(
         self,
         jobs: Sequence[SimJob],
         workers: int,
         progress: ProgressReporter | None = None,
-    ) -> list[tuple[str, object, float, int]]:
+    ) -> Iterator[tuple[int, tuple[str, object, float, int | None]]]:
+        """Yield ``(index, final_outcome)`` per job, retrying failures.
+
+        Jobs run in rounds: every job that did not reach a valid ``ok``
+        outcome — error, timeout, crashed worker, or a result rejected
+        by the oracle — is retried in the next round (fresh pool, so a
+        poisoned pool costs one round), up to :attr:`retries` extra
+        attempts with exponential backoff between rounds. Outcomes are
+        yielded as soon as they are final, so the caller can cache and
+        checkpoint incrementally.
+        """
+        counters = self.counters
+        remaining = list(range(len(jobs)))
+        attempts = [0] * len(jobs)
+        round_no = 0
+        while remaining:
+            if round_no > 0:
+                delay = min(
+                    self.retry_backoff * (2 ** (round_no - 1)),
+                    MAX_RETRY_BACKOFF,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            retry: list[int] = []
+            round_outcomes = self._run_round(
+                [jobs[i] for i in remaining],
+                [attempts[i] for i in remaining],
+                workers, progress,
+            )
+            for local_index, outcome in round_outcomes:
+                index = remaining[local_index]
+                attempts[index] += 1
+                status, payload, wall, worker = outcome
+                if status == "timeout":
+                    counters.timeouts += 1
+                if status == "ok":
+                    problem = self._validate_result(payload)
+                    if problem is not None:
+                        status = "invalid"
+                        outcome = ("invalid", problem, wall, worker)
+                if status != "ok" and attempts[index] <= self.retries:
+                    counters.retries += 1
+                    _log.warning(
+                        "job %s attempt %d ended in %s; retrying",
+                        jobs[index].describe(), attempts[index], status,
+                    )
+                    retry.append(index)
+                    continue
+                yield index, outcome
+            remaining = retry
+            round_no += 1
+
+    def _validate_result(self, stats: object) -> str | None:
+        """Reject a result the oracle or the serializer cannot vouch for.
+
+        Runs on every freshly executed result *before* it is cached or
+        returned — the fix for results that used to be published even
+        when post-processing later raised.
+        """
+        if not isinstance(stats, SimStats):
+            return f"worker returned {type(stats).__name__}, not SimStats"
+        violations = oracle.validate_stats(stats)
+        if violations:
+            return "result failed invariants: " + "; ".join(violations)
+        try:
+            SimStats.from_dict(stats.to_dict())
+        except Exception:
+            return (
+                "result failed serialization round-trip:\n"
+                + traceback.format_exc()
+            )
+        return None
+
+    def _run_round(
+        self,
+        jobs: Sequence[SimJob],
+        attempts: Sequence[int],
+        workers: int,
+        progress: ProgressReporter | None = None,
+    ) -> Iterator[tuple[int, tuple[str, object, float, int | None]]]:
+        """Yield ``(local_index, outcome)`` as this round's jobs finish.
+
+        Streaming (rather than returning the round as a batch) is what
+        makes a mid-round interrupt resumable: every finished job has
+        already been folded into results, cache, and manifest by the
+        consumer. If the parallel path dies after partially yielding,
+        only the jobs it never reported are re-run serially.
+        """
+        done = [False] * len(jobs)
         if workers > 1 and len(jobs) > 1:
             try:
-                return self._execute_parallel(jobs, workers, progress)
+                for index, outcome in self._round_parallel(
+                    jobs, attempts, workers, progress,
+                ):
+                    done[index] = True
+                    yield index, outcome
+                return
             except (OSError, RuntimeError, pickle.PicklingError, EOFError):
                 # Pool creation or transport failed (sandboxed platform,
                 # broken worker, unpicklable payload): fall back serial.
                 self.counters.serial_fallbacks += 1
-        outcomes = []
-        for job in jobs:
-            outcomes.append(_execute_job(job))
-            if progress is not None:
-                progress.update()
-        return outcomes
+        pending = [i for i in range(len(jobs)) if not done[i]]
+        for local, outcome in self._round_serial(
+            [jobs[i] for i in pending],
+            [attempts[i] for i in pending], progress,
+        ):
+            yield pending[local], outcome
 
-    def _execute_parallel(
+    def _round_serial(
         self,
         jobs: Sequence[SimJob],
+        attempts: Sequence[int],
+        progress: ProgressReporter | None = None,
+    ) -> Iterator[tuple[int, tuple[str, object, float, int | None]]]:
+        for index, (job, attempt) in enumerate(zip(jobs, attempts)):
+            if faults.enabled():
+                faults.interrupt_point(job.fault_identity(), attempt)
+            outcome = _execute_job(job, attempt, self.job_timeout, False)
+            if progress is not None:
+                progress.update()
+            yield index, outcome
+
+    def _round_parallel(
+        self,
+        jobs: Sequence[SimJob],
+        attempts: Sequence[int],
         workers: int,
         progress: ProgressReporter | None = None,
-    ) -> list[tuple[str, object, float, int]]:
+    ) -> Iterator[tuple[int, tuple[str, object, float, int | None]]]:
+        reported: set[int] = set()
+        timeout = self.job_timeout
+        # Engine-side watchdog backstop for workers so far gone that
+        # their own SIGALRM cannot fire: enough wall clock for every
+        # queued job to use its full budget, plus slack.
+        watchdog = None
+        if timeout > 0:
+            waves = -(-len(jobs) // workers)
+            watchdog = timeout * (waves + 1) + 5.0
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute_job, job): index
-                for index, job in enumerate(jobs)
+                pool.submit(_execute_job, job, attempt, timeout, True): i
+                for i, (job, attempt) in enumerate(zip(jobs, attempts))
             }
-            outcomes: list = [None] * len(jobs)
-            # Collect in completion order so progress (and its ETA) is
-            # live; result ordering is restored through the index map.
-            for future in as_completed(futures):
-                outcomes[futures[future]] = future.result()
-                if progress is not None:
-                    progress.update()
-        self.counters.parallel_jobs += len(jobs)
-        return outcomes
+            try:
+                # Yield in completion order so progress (and its ETA)
+                # is live; the caller re-maps indices.
+                for future in as_completed(futures, timeout=watchdog):
+                    index = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception:
+                        # BrokenProcessPool and friends: the worker died
+                        # (e.g. an injected os._exit). Captured per job;
+                        # the retry round gets a fresh pool.
+                        outcome = (
+                            "crash", traceback.format_exc(), 0.0, None,
+                        )
+                    if progress is not None:
+                        progress.update()
+                    reported.add(index)
+                    self.counters.parallel_jobs += 1
+                    yield index, outcome
+            except FuturesTimeout:
+                self._terminate_pool(pool)
+                for future, index in futures.items():
+                    if index not in reported:
+                        future.cancel()
+                        reported.add(index)
+                        self.counters.parallel_jobs += 1
+                        yield index, (
+                            "timeout",
+                            f"no result within the {watchdog:.1f}s "
+                            "watchdog; worker terminated",
+                            0.0, None,
+                        )
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill a pool's workers so ``shutdown`` cannot wait forever."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # On-disk result cache.
@@ -615,9 +989,11 @@ class ExperimentEngine:
     def _cache_path(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key[2:]}.json"
 
-    def _cache_load(self, job: SimJob) -> SimStats | None:
+    def _cache_load(self, job: SimJob, key: str | None = None) -> \
+            SimStats | None:
         """Load a cached result; any corruption or staleness is a miss."""
-        key = job.cache_key()
+        if key is None:
+            key = job.cache_key()
         path = self._cache_path(key)
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
@@ -630,8 +1006,11 @@ class ExperimentEngine:
         except (KeyError, TypeError, ValueError):
             return None
 
-    def _cache_store(self, job: SimJob, stats: SimStats) -> None:
-        key = job.cache_key()
+    def _cache_store(
+        self, job: SimJob, stats: SimStats, key: str | None = None,
+    ) -> None:
+        if key is None:
+            key = job.cache_key()
         path = self._cache_path(key)
         payload = {
             "key": key,
@@ -644,6 +1023,9 @@ class ExperimentEngine:
             },
             "stats": stats.to_dict(),
         }
+        text = json.dumps(payload)
+        if faults.enabled():
+            text = faults.corrupt_text("corrupt_cache", key, text)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # The tmp name must be unique per writer — pid separates
@@ -654,7 +1036,7 @@ class ExperimentEngine:
             tmp = path.with_suffix(
                 f".tmp.{os.getpid()}.{next(_tmp_counter)}"
             )
-            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            tmp.write_text(text, encoding="utf-8")
             os.replace(tmp, path)
         except OSError:
             # A read-only or full filesystem never fails the experiment.
@@ -678,6 +1060,24 @@ def _parse_jobs(raw: str | None) -> int:
         return 1
 
 
+def _parse_float(raw: str | None, default: float) -> float:
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _parse_int(raw: str | None, default: int) -> int:
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
 def get_engine() -> ExperimentEngine:
     """The process-wide engine used by sweeps and experiments."""
     global _shared_engine
@@ -690,6 +1090,10 @@ def configure(
     workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     use_cache: bool | None = None,
+    job_timeout: float | None = None,
+    retries: int | None = None,
+    retry_backoff: float | None = None,
+    resume: bool | None = None,
 ) -> ExperimentEngine:
     """Replace the shared engine (tests, benchmarks, notebooks).
 
@@ -699,5 +1103,7 @@ def configure(
     global _shared_engine
     _shared_engine = ExperimentEngine(
         workers=workers, cache_dir=cache_dir, use_cache=use_cache,
+        job_timeout=job_timeout, retries=retries,
+        retry_backoff=retry_backoff, resume=resume,
     )
     return _shared_engine

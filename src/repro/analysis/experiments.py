@@ -22,6 +22,7 @@ from __future__ import annotations
 import functools
 import os
 import sys
+import traceback
 from collections.abc import Iterable
 
 from repro.analysis.engine import get_engine
@@ -53,19 +54,40 @@ def _with_engine_meta(fn):
     Wraps an experiment function so its :class:`ExperimentResult`
     carries a ``meta["engine"]`` dict with the shared engine's counter
     deltas for that experiment — the observability data bench JSONs use
-    to track the harness's own perf trajectory.
+    to track the harness's own perf trajectory — and, when any jobs
+    failed, a ``meta["failures"]`` list describing the holes (sweeps
+    degrade to partial results instead of raising; the CLI turns a
+    non-empty failure list into exit code 3).
     """
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
-        counters = get_engine().counters
+        engine = get_engine()
+        counters = engine.counters
         before = counters.snapshot()
+        failures_before = len(engine.failure_log)
         result = fn(*args, **kwargs)
         if isinstance(result, ExperimentResult):
             result.meta["engine"] = counters.since(before)
+            new_failures = engine.failure_log[failures_before:]
+            if new_failures:
+                result.meta["failures"] = [
+                    {
+                        "job": failure.job.describe(),
+                        "kind": failure.kind,
+                        "error": failure.error.strip().splitlines()[-1]
+                        if failure.error else "",
+                    }
+                    for failure in new_failures
+                ]
         return result
 
     return wrapper
+
+
+def _present(results: dict) -> dict:
+    """Drop failed-job holes so aggregation sees only real statistics."""
+    return {name: stats for name, stats in results.items() if stats}
 
 
 def _scale() -> float:
@@ -100,7 +122,7 @@ def _scheme_configs(**common) -> dict[str, MachineConfig]:
 def fig1_lifetimes(scale: float | None = None) -> ExperimentResult:
     """Median empty/live/dead register lifetime phases (Figure 1)."""
     traces = _traces(scale)
-    results = run_config(traces, use_based_config())
+    results = _present(run_config(traces, use_based_config()))
     rows = []
     summaries = []
     for name, stats in results.items():
@@ -126,7 +148,7 @@ def fig1_lifetimes(scale: float | None = None) -> ExperimentResult:
 def fig2_occupancy_cdf(scale: float | None = None) -> ExperimentResult:
     """Allocated vs live register distributions (Figure 2)."""
     traces = _traces(scale)
-    results = run_config(traces, use_based_config())
+    results = _present(run_config(traces, use_based_config()))
     rows = []
     for name, stats in results.items():
         alloc = allocated_cdf(stats.lifetimes)
@@ -220,7 +242,8 @@ def fig7_indexing(
             config = use_based_config(indexing=policy, cache_assoc=assoc)
             results = run_config(traces, config)
             conflicts = sum(
-                s.cache.misses["conflict"] for s in results.values()
+                s.cache.misses["conflict"]
+                for s in _present(results).values()
             )
             row.append(mean_ipc(results))
             row.append(conflicts)
@@ -507,7 +530,7 @@ def tuning_defaults(
 def predictor_accuracy(scale: float | None = None) -> ExperimentResult:
     """Degree-of-use predictor accuracy and coverage (§3.3)."""
     traces = _traces(scale)
-    results = run_config(traces, use_based_config())
+    results = _present(run_config(traces, use_based_config()))
     rows = []
     total_supplied = total_correct = total_queries = 0
     for name, stats in results.items():
@@ -555,10 +578,10 @@ def incorrect_use_info(
         )
         metrics = aggregate_cache_metrics("use_based", results)
         accuracy_num = sum(
-            s.predictor_correct for s in results.values()
+            s.predictor_correct for s in _present(results).values()
         )
         accuracy_den = max(
-            1, sum(s.predictor_supplied for s in results.values())
+            1, sum(s.predictor_supplied for s in _present(results).values())
         )
         rows.append([
             noise, mean_ipc(results), metrics.miss_rate,
@@ -701,8 +724,28 @@ def main(argv: list[str] | None = None) -> int:
             logger.error("experiment %s had failing jobs", name)
             print(f"== {name}: FAILED ==\n{error}\n", file=sys.stderr)
             continue
+        except Exception:
+            # Sweeps degrade to partial results, so an escaping
+            # exception means the experiment could not cope with its
+            # holes (or has a bug); report it without killing the rest
+            # of the batch.
+            failed.append(name)
+            logger.error("experiment %s raised", name)
+            print(
+                f"== {name}: FAILED ==\n{traceback.format_exc()}\n",
+                file=sys.stderr,
+            )
+            continue
         print(render(result))
         print()
+        if result.meta.get("failures"):
+            # Partial result: it rendered (with its holes called out),
+            # but the batch must still exit non-zero.
+            failed.append(name)
+            logger.error(
+                "experiment %s completed with %d failed job(s)",
+                name, len(result.meta["failures"]),
+            )
     if failed:
         print(
             f"{len(failed)} experiment(s) with failing jobs: "

@@ -38,9 +38,14 @@ def aggregate_cache_metrics(
     ratios (i.e. weighted by activity, as the paper's aggregate figures
     are); bandwidths are averaged over total cycles.
 
+    Falsy result slots (failed-job holes from a gracefully degraded
+    sweep) are skipped.
+
     Raises:
-        ValueError: if any result has no register cache.
+        ValueError: if any result has no register cache, or every slot
+            is a hole.
     """
+    results = {name: stats for name, stats in results.items() if stats}
     if not results:
         raise ValueError("no results to aggregate")
     totals = {

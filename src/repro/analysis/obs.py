@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -194,14 +195,19 @@ def compare_metrics(
     """Gate *current* against *baseline*.
 
     Only metrics present in both artifacts are compared (a renamed or
-    newly added metric is not a regression). Returns the violations and
-    the number of metrics actually compared.
+    newly added metric is not a regression), and a metric whose value
+    is non-finite on either side — NaN from a zero-denominator rate,
+    inf from a degenerate ratio — is skipped rather than poisoning the
+    gate (every NaN comparison is False, which would silently pass).
+    Returns the violations and the number of metrics actually compared.
     """
     thresholds = thresholds or Thresholds()
     regressions: list[Regression] = []
     compared = 0
     for name in sorted(set(baseline) & set(current)):
         base, cur = baseline[name], current[name]
+        if not (math.isfinite(base) and math.isfinite(cur)):
+            continue
         if _is_errors(name):
             compared += 1
             if cur > base:

@@ -5,13 +5,26 @@ engine: each ``(config, trace)`` pair becomes one :class:`SimJob`, the
 whole grid is submitted in a single batch (so parallel workers see the
 full fan-out, not one trace at a time), and previously simulated pairs
 are served from the engine's content-addressed result cache.
+
+Sweeps degrade gracefully: a failed job leaves an explicit hole — a
+falsy :class:`~repro.analysis.engine.JobFailure` in that result slot —
+rather than raising, so one bad benchmark costs one point of one curve
+instead of the whole figure. Downstream aggregation
+(:func:`~repro.core.simulator.mean_ipc`,
+:func:`~repro.analysis.metrics.aggregate_cache_metrics`) skips the
+holes, and the experiment CLI reports them with exit code 3.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 
-from repro.analysis.engine import ExperimentEngine, SimJob, get_engine
+from repro.analysis.engine import (
+    ExperimentEngine,
+    JobFailure,
+    SimJob,
+    get_engine,
+)
 from repro.core.config import MachineConfig
 from repro.core.simulator import mean_ipc
 from repro.core.stats import SimStats
@@ -30,17 +43,20 @@ def run_config(
     traces: dict[str, Trace],
     config: MachineConfig,
     engine: ExperimentEngine | None = None,
-) -> dict[str, SimStats]:
-    """Simulate every trace under *config* (cached, possibly parallel)."""
+) -> dict[str, SimStats | JobFailure]:
+    """Simulate every trace under *config* (cached, possibly parallel).
+
+    Failed benchmarks map to falsy :class:`JobFailure` holes.
+    """
     engine = engine or get_engine()
-    return engine.run_grid(traces, config)
+    return engine.run_grid(traces, config, raise_on_error=False)
 
 
 def sweep(
     traces: dict[str, Trace],
     configs: dict[str, MachineConfig],
     engine: ExperimentEngine | None = None,
-) -> dict[str, dict[str, SimStats]]:
+) -> dict[str, dict[str, SimStats | JobFailure]]:
     """Simulate every trace under every named configuration.
 
     The full ``configs x traces`` grid is submitted as one engine batch
@@ -48,7 +64,8 @@ def sweep(
     just within one.
 
     Returns:
-        Mapping of configuration label to per-benchmark statistics.
+        Mapping of configuration label to per-benchmark statistics;
+        failed cells hold falsy :class:`JobFailure` records.
     """
     engine = engine or get_engine()
     names = list(traces)
@@ -57,9 +74,9 @@ def sweep(
         for config in configs.values()
         for name in names
     ]
-    stats = engine.run(jobs)
+    stats = engine.run(jobs, raise_on_error=False)
     per_trace = len(names)
-    out: dict[str, dict[str, SimStats]] = {}
+    out: dict[str, dict[str, SimStats | JobFailure]] = {}
     for row, label in enumerate(configs):
         chunk = stats[row * per_trace:(row + 1) * per_trace]
         out[label] = dict(zip(names, chunk))
@@ -81,7 +98,8 @@ def ipc_curve(
         engine: experiment engine (defaults to the shared one).
 
     Returns:
-        List of ``(point, mean_ipc)`` pairs in input order.
+        List of ``(point, mean_ipc)`` pairs in input order. Benchmarks
+        that failed at a point are excluded from that point's mean.
     """
     engine = engine or get_engine()
     points = list(points)
@@ -91,7 +109,7 @@ def ipc_curve(
         for point in points
         for name in names
     ]
-    stats = engine.run(jobs)
+    stats = engine.run(jobs, raise_on_error=False)
     per_point = len(names)
     curve = []
     for row, point in enumerate(points):

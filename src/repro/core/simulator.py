@@ -50,13 +50,18 @@ def simulate_suite(
 
 
 def mean_ipc(results: dict[str, SimStats]) -> float:
-    """Geometric-mean IPC across benchmarks (the figures' y-axis)."""
-    if not results:
+    """Geometric-mean IPC across benchmarks (the figures' y-axis).
+
+    Falsy result slots (failed-job holes from a gracefully degraded
+    sweep) are excluded from the mean rather than zeroing it.
+    """
+    values = [stats for stats in results.values() if stats]
+    if not values:
         return 0.0
     log_sum = 0.0
-    for stats in results.values():
+    for stats in values:
         ipc = stats.ipc
         if ipc <= 0:
             return 0.0
         log_sum += math.log(ipc)
-    return math.exp(log_sum / len(results))
+    return math.exp(log_sum / len(values))

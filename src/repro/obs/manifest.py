@@ -23,7 +23,8 @@ import json
 import os
 from pathlib import Path
 
-from repro.obs.metrics import percentile
+from repro.obs.metrics import get_metrics, percentile
+from repro.testing import faults
 
 #: Default manifest file name under the engine cache directory.
 MANIFEST_NAME = "manifest.jsonl"
@@ -55,18 +56,7 @@ class ManifestWriter:
     def append(self, record: dict) -> bool:
         """Append one record; returns False when the write failed."""
         line = json.dumps(record, sort_keys=True, default=str) + "\n"
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(
-                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
-            try:
-                os.write(fd, line.encode("utf-8"))
-            finally:
-                os.close(fd)
-            return True
-        except OSError:
-            return False
+        return self._write(line)
 
     def append_all(self, records: list[dict]) -> bool:
         """Append several records in one write (still line-delimited)."""
@@ -76,7 +66,11 @@ class ManifestWriter:
             json.dumps(record, sort_keys=True, default=str) + "\n"
             for record in records
         )
+        return self._write(payload)
+
+    def _write(self, payload: str) -> bool:
         try:
+            faults.enospc_point(str(self.path))
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fd = os.open(
                 self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
@@ -87,6 +81,7 @@ class ManifestWriter:
                 os.close(fd)
             return True
         except OSError:
+            get_metrics().counter("repro_manifest_write_failures").inc()
             return False
 
 
@@ -129,7 +124,7 @@ def summarize_manifest(records: list[dict]) -> dict:
             "error": record.get("error") or "",
         }
         for record in jobs
-        if record.get("status") == "error"
+        if record.get("status") not in ("ok", None)
     ]
     walls = [
         float(record.get("wall", 0.0))
@@ -149,3 +144,42 @@ def summarize_manifest(records: list[dict]) -> dict:
         "wall_p95": round(percentile(walls, 0.95), 6),
         "failures": failures,
     }
+
+
+def completed_job_keys(
+    records: list[dict], sweep: str | None = None,
+) -> frozenset[str]:
+    """Cache keys of jobs a manifest records as successfully finished.
+
+    This is the resume set: a restarted sweep whose cache hit matches
+    one of these keys is *resuming* prior work rather than merely
+    enjoying memoization. Restricting to *sweep* narrows the set to one
+    sweep identity (the engine stamps every job record with the sweep
+    key of its batch).
+    """
+    keys = set()
+    for record in records:
+        if record.get("kind") != "job" or record.get("status") != "ok":
+            continue
+        if sweep is not None and record.get("sweep") != sweep:
+            continue
+        key = record.get("key")
+        if key:
+            keys.add(key)
+    return frozenset(keys)
+
+
+def checkpoint_events(
+    records: list[dict], sweep: str | None = None,
+) -> list[dict]:
+    """The ``checkpoint`` records of a manifest, oldest first.
+
+    The engine appends ``start`` when a batch begins executing,
+    ``interrupted`` when it unwinds on SIGINT/crash, and ``complete``
+    when it finishes — so an interrupted-then-resumed sweep reads as
+    ``start, interrupted, start, complete``.
+    """
+    events = [r for r in records if r.get("kind") == "checkpoint"]
+    if sweep is not None:
+        events = [r for r in events if r.get("sweep") == sweep]
+    return events

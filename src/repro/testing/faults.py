@@ -1,0 +1,260 @@
+"""Deterministic, seed-driven fault injection (``REPRO_FAULTS``).
+
+The engine, trace factory, and manifest writer contain *injection
+points*: named sites where a controlled fault can be triggered. A site
+fires based only on ``(seed, site, identity, attempt)`` — the same plan
+always faults the same jobs — so chaos tests are reproducible and a
+retried attempt can deterministically succeed where the first one
+failed.
+
+Plan specs are comma/semicolon-separated ``key=value`` pairs::
+
+    REPRO_FAULTS="seed=42,crash=1.0,hang=0.5,times=1,hang_seconds=30"
+
+Recognized keys:
+
+* ``seed`` — integer mixed into every decision hash (default 0).
+* ``times`` — how many times a given ``(site, identity)`` pair may
+  fire (default 1), so bounded retries eventually get a clean attempt.
+* ``hang_seconds`` — how long the ``hang`` site sleeps (default 3600;
+  chaos tests pair it with a small ``REPRO_JOB_TIMEOUT``).
+* one probability in ``[0, 1]`` per site: ``crash`` (worker calls
+  ``os._exit``; raised as :class:`InjectedFault` on the in-process
+  serial path so the host survives), ``hang`` (worker sleeps),
+  ``corrupt_cache`` (result-cache entry written truncated),
+  ``truncate_trace`` (packed trace written truncated), ``enospc``
+  (manifest write raises ``OSError(ENOSPC)``), ``interrupt``
+  (``KeyboardInterrupt`` before a serial job, simulating Ctrl-C
+  mid-sweep), ``bad_stats`` (a finished job's statistics are corrupted
+  so engine-side validation must reject them).
+
+Decisions that have no explicit *attempt* (cache/manifest sites, where
+"attempt" is not a meaningful concept) consume a per-process occurrence
+counter instead, so e.g. the re-store after a corrupt-entry repair is
+written clean.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+#: Every injection point wired into the library.
+FAULT_SITES = (
+    "crash", "hang", "corrupt_cache", "truncate_trace", "enospc",
+    "interrupt", "bad_stats",
+)
+
+#: Exit status used by the ``crash`` site (distinctive in waitpid logs).
+CRASH_EXIT_CODE = 117
+
+
+class InjectedFault(Exception):
+    """An injected fault surfaced as an exception.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults model infrastructure failures, and must not be catchable by
+    ``except ReproError`` blocks meant for library errors.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed ``REPRO_FAULTS`` plan; immutable and hashable."""
+
+    seed: int = 0
+    times: int = 1
+    hang_seconds: float = 3600.0
+    rates: MappingProxyType = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def rate(self, site: str) -> float:
+        return self.rates.get(site, 0.0)
+
+    def decide(self, site: str, identity: str, attempt: int = 0) -> bool:
+        """Whether *site* faults *identity* on its *attempt*-th try.
+
+        Pure function of the plan: hash ``(seed, site, identity)`` to a
+        uniform draw in [0, 1) and compare against the site's rate;
+        attempts at or beyond ``times`` never fault.
+        """
+        rate = self.rates.get(site, 0.0)
+        if rate <= 0.0 or attempt >= self.times:
+            return False
+        material = f"{self.seed}\x1f{site}\x1f{identity}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return draw < rate
+
+
+def parse_plan(spec: str) -> FaultPlan | None:
+    """Parse a ``REPRO_FAULTS`` spec string.
+
+    Returns ``None`` for an empty/disabled spec (``""``, ``0``,
+    ``off``). Raises :class:`ValueError` on malformed input so typos in
+    test setups fail loudly.
+    """
+    spec = (spec or "").strip()
+    if spec.lower() in ("", "0", "false", "off"):
+        return None
+    seed = 0
+    times = 1
+    hang_seconds = 3600.0
+    rates: dict[str, float] = {}
+    for token in spec.replace(";", ",").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"REPRO_FAULTS: expected key=value, got {token!r}")
+        key, _, value = token.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "seed":
+            seed = int(value)
+        elif key == "times":
+            times = int(value)
+        elif key == "hang_seconds":
+            hang_seconds = float(value)
+        elif key in FAULT_SITES:
+            rate = float(value)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"REPRO_FAULTS: rate for {key!r} must be in [0, 1]"
+                )
+            rates[key] = rate
+        else:
+            raise ValueError(
+                f"REPRO_FAULTS: unknown key {key!r}; sites are "
+                f"{', '.join(FAULT_SITES)}"
+            )
+    if not rates:
+        return None
+    return FaultPlan(
+        seed=seed, times=times, hang_seconds=hang_seconds,
+        rates=MappingProxyType(rates),
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-wide plan (memoized per env value) and occurrence tracking.
+
+_plan_memo: tuple[str | None, FaultPlan | None] | None = None
+_warned_spec: str | None = None
+_occurrences: dict[tuple[str, str], int] = {}
+
+
+def get_plan() -> FaultPlan | None:
+    """The active plan from ``REPRO_FAULTS`` (``None`` when disabled).
+
+    A malformed spec logs one warning and disables injection rather
+    than breaking production runs.
+    """
+    global _plan_memo, _warned_spec
+    spec = os.environ.get("REPRO_FAULTS")
+    if _plan_memo is not None and _plan_memo[0] == spec:
+        return _plan_memo[1]
+    plan: FaultPlan | None = None
+    if spec:
+        try:
+            plan = parse_plan(spec)
+        except ValueError as error:
+            if spec != _warned_spec:
+                from repro.obs.log import get_logger
+
+                get_logger("faults").warning(
+                    "ignoring malformed REPRO_FAULTS: %s", error,
+                )
+                _warned_spec = spec
+            plan = None
+    _plan_memo = (spec, plan)
+    return plan
+
+
+def enabled() -> bool:
+    """True when a fault plan is armed (cheap; memoized per env value)."""
+    return get_plan() is not None
+
+
+def reset() -> None:
+    """Forget the memoized plan and all occurrence counts (tests)."""
+    global _plan_memo, _warned_spec
+    _plan_memo = None
+    _warned_spec = None
+    _occurrences.clear()
+
+
+def fire(site: str, identity: str = "", attempt: int | None = None) -> bool:
+    """Should *site* fault now? The single decision entry point.
+
+    With an explicit *attempt* (the engine's retry counter) the decision
+    is a pure function — correct across worker processes, which start
+    with fresh module state. Without one, a per-process occurrence
+    counter for ``(site, identity)`` stands in for the attempt number,
+    so a site armed with ``times=1`` faults once and then behaves.
+    """
+    plan = get_plan()
+    if plan is None:
+        return False
+    if attempt is not None:
+        return plan.decide(site, identity, attempt)
+    key = (site, str(identity))
+    occurrence = _occurrences.get(key, 0)
+    if not plan.decide(site, identity, occurrence):
+        return False
+    _occurrences[key] = occurrence + 1
+    return True
+
+
+# ----------------------------------------------------------------------
+# Site helpers (each one line at its call site).
+
+
+def crash_point(identity: str, attempt: int | None = None,
+                allow_exit: bool = False) -> None:
+    """``crash`` site: kill this process (worker) or raise (serial)."""
+    if not fire("crash", identity, attempt):
+        return
+    if allow_exit:
+        os._exit(CRASH_EXIT_CODE)
+    raise InjectedFault(
+        "injected worker crash (raised, not exited: in-process execution)"
+    )
+
+
+def hang_point(identity: str, attempt: int | None = None) -> None:
+    """``hang`` site: sleep far past any sane job wall-clock budget."""
+    plan = get_plan()
+    if plan is not None and fire("hang", identity, attempt):
+        time.sleep(plan.hang_seconds)
+
+
+def interrupt_point(identity: str, attempt: int | None = None) -> None:
+    """``interrupt`` site: simulate Ctrl-C landing mid-sweep."""
+    if fire("interrupt", identity, attempt):
+        raise KeyboardInterrupt("injected mid-sweep interrupt")
+
+
+def enospc_point(identity: str) -> None:
+    """``enospc`` site: fail a write the way a full filesystem would."""
+    if fire("enospc", identity):
+        raise OSError(errno.ENOSPC, "No space left on device (injected)")
+
+
+def corrupt_text(site: str, identity: str, text: str) -> str:
+    """Truncate *text* mid-payload when *site* fires (JSON corruption)."""
+    if fire(site, identity):
+        return text[: max(1, len(text) // 3)]
+    return text
+
+
+def corrupt_bytes(site: str, identity: str, data: bytes) -> bytes:
+    """Truncate *data* mid-stream when *site* fires (binary corruption)."""
+    if fire(site, identity):
+        return data[: max(1, len(data) // 3)]
+    return data

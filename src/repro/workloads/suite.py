@@ -33,9 +33,14 @@ from pathlib import Path
 from repro.errors import ReproError
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_metrics
+from repro.testing import faults
 from repro.vm.machine import run_program
 from repro.vm.trace import Trace, pack_trace, unpack_trace
 from repro.workloads.kernels import KERNELS
+
+_log = get_logger("suite")
 
 #: Default suite used by the experiment harness (the eight primary
 #: kernels; ``bitpack`` and ``tree_walk`` are extra workloads available
@@ -85,6 +90,7 @@ class TraceCounters:
 
     generated: int = 0
     loaded: int = 0
+    repairs: int = 0
     gen_seconds: float = 0.0
     load_seconds: float = 0.0
 
@@ -92,6 +98,7 @@ class TraceCounters:
         return {
             "traces_generated": self.generated,
             "traces_loaded": self.loaded,
+            "trace_cache_repairs": self.repairs,
             "trace_gen_seconds": self.gen_seconds,
             "trace_load_seconds": self.load_seconds,
         }
@@ -185,15 +192,26 @@ def _load_cached(
         return unpack_trace(data, program)
     except Exception:
         # Corrupt or stale blob: repair by regenerating (the caller
-        # stores the fresh trace over this entry).
+        # stores the fresh trace over this entry). Unlike a plain miss
+        # this means an entry existed and was unreadable, so it is
+        # counted — a climbing repair rate flags a sick cache volume.
+        _counters.repairs += 1
+        get_metrics().counter("repro_trace_cache_repairs").inc()
+        _log.warning(
+            "repairing corrupt trace-cache entry for %s (scale=%s, "
+            "seed=%s): %s", name, scale, seed, path,
+        )
         return None
 
 
 def _store_cached(name: str, scale: float, seed: int | None, trace: Trace) -> None:
     """Atomically write the packed trace (with analysis); best-effort."""
-    path = _trace_path(_trace_key(name, scale, seed))
+    key = _trace_key(name, scale, seed)
+    path = _trace_path(key)
     try:
         data = pack_trace(trace, trace.analysis())
+        if faults.enabled():
+            data = faults.corrupt_bytes("truncate_trace", key, data)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_bytes(data)

@@ -1,0 +1,153 @@
+"""Chaos suite: every injected failure mode must recover.
+
+Each test arms exactly one fault site through ``REPRO_FAULTS``, runs a
+real sweep, and asserts two things: the run converges to the
+*fault-free* result (bitwise, where the fault allows it), and the
+recovery left the expected observability trail — retry/timeout/repair
+counters a production run would alarm on. The differential oracle
+cross-checks every recovered sweep against a replay of its traces.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import ExperimentEngine, SimJob
+from repro.core.config import use_based_config
+from repro.testing import oracle
+from repro.workloads.suite import (
+    clear_trace_memo,
+    load_trace,
+    trace_counters,
+)
+
+pytestmark = pytest.mark.chaos
+
+SCALE = 0.05
+NAMES = ("compress", "pointer_chase")
+
+
+def _jobs():
+    return [
+        SimJob(config=use_based_config(), trace_name=name, scale=SCALE)
+        for name in NAMES
+    ]
+
+
+def _fault_free_baseline():
+    engine = ExperimentEngine(workers=1, use_cache=False)
+    return [stats.to_dict() for stats in engine.run(_jobs())]
+
+
+def _assert_oracle_clean(results):
+    traces = {name: load_trace(name, scale=SCALE) for name in NAMES}
+    by_name = dict(zip(NAMES, results))
+    assert oracle.check_results(traces, by_name) == {}
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_crashed_worker_is_retried_to_success(
+    chaos_seed, monkeypatch, workers,
+):
+    """Every first attempt dies (os._exit in pool workers); the retry
+    round gets a fresh pool and converges to the fault-free results."""
+    baseline = _fault_free_baseline()
+    monkeypatch.setenv(
+        "REPRO_FAULTS", f"crash=1.0,times=1,seed={chaos_seed}",
+    )
+    engine = ExperimentEngine(
+        workers=workers, use_cache=False, retries=2, retry_backoff=0.0,
+    )
+    results = engine.run(_jobs())
+    assert [stats.to_dict() for stats in results] == baseline
+    assert engine.counters.retries >= len(NAMES)
+    assert engine.counters.errors == 0  # nothing failed *finally*
+    _assert_oracle_clean(results)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_hung_job_times_out_and_recovers(chaos_seed, monkeypatch, workers):
+    """A wedged job is cut off by its wall-clock budget and retried."""
+    baseline = _fault_free_baseline()
+    monkeypatch.setenv(
+        "REPRO_FAULTS",
+        f"hang=1.0,times=1,hang_seconds=30,seed={chaos_seed}",
+    )
+    engine = ExperimentEngine(
+        workers=workers, use_cache=False, job_timeout=0.5, retries=1,
+        retry_backoff=0.0,
+    )
+    results = engine.run(_jobs())
+    assert [stats.to_dict() for stats in results] == baseline
+    assert engine.counters.timeouts == len(NAMES)
+    assert engine.counters.retries == len(NAMES)
+    assert engine.counters.errors == 0
+    _assert_oracle_clean(results)
+
+
+def test_corrupt_result_cache_entry_repaired(
+    chaos_seed, tmp_path, monkeypatch,
+):
+    """A cache entry corrupted at write time is never served: the next
+    run detects it, re-simulates, and heals the entry in place."""
+    cache = tmp_path / "rcache"
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=SCALE)
+    monkeypatch.setenv(
+        "REPRO_FAULTS", f"corrupt_cache=1.0,times=1,seed={chaos_seed}",
+    )
+    first_engine = ExperimentEngine(workers=1, cache_dir=cache)
+    first = first_engine.run([job])[0]
+    path = first_engine._cache_path(job.cache_key())
+    assert path.exists()
+    with pytest.raises(ValueError):
+        json.loads(path.read_text())  # the stored entry is garbage
+
+    second_engine = ExperimentEngine(workers=1, cache_dir=cache)
+    second = second_engine.run([job])[0]
+    assert second.to_dict() == first.to_dict()
+    assert second_engine.counters.executed == 1  # re-simulated, not served
+
+    third = second_engine.run([job])[0]
+    assert third.to_dict() == first.to_dict()
+    assert second_engine.counters.cache_hits == 1  # entry healed
+    assert json.loads(path.read_text())["stats"]["cycles"] == first.cycles
+
+
+def test_truncated_trace_cache_entry_repaired_and_counted(
+    chaos_seed, metrics, monkeypatch,
+):
+    """A truncated packed trace triggers the repair path: regenerate,
+    bump ``trace_cache_repairs``, and publish the metrics counter."""
+    repairs_before = trace_counters().repairs
+    monkeypatch.setenv(
+        "REPRO_FAULTS", f"truncate_trace=1.0,times=1,seed={chaos_seed}",
+    )
+    first = load_trace("compress", scale=SCALE)  # stores truncated bytes
+
+    clear_trace_memo()
+    second = load_trace("compress", scale=SCALE)  # unreadable -> repair
+    assert trace_counters().repairs == repairs_before + 1
+    assert metrics.snapshot()["repro_trace_cache_repairs"] == 1
+    assert len(second.records) == len(first.records)
+
+    clear_trace_memo()
+    third = load_trace("compress", scale=SCALE)  # healed entry loads
+    assert trace_counters().repairs == repairs_before + 1
+    assert len(third.records) == len(first.records)
+
+
+def test_manifest_enospc_never_fails_the_run(
+    chaos_seed, metrics, tmp_path, monkeypatch,
+):
+    """A full filesystem degrades observability, not the experiment."""
+    monkeypatch.setenv(
+        "REPRO_FAULTS", f"enospc=1.0,times=100,seed={chaos_seed}",
+    )
+    engine = ExperimentEngine(workers=1, cache_dir=tmp_path / "rcache")
+    results = engine.run(_jobs())
+    assert all(stats.retired > 0 for stats in results)
+    assert engine.counters.errors == 0
+    assert metrics.snapshot()["repro_manifest_write_failures"] >= 3
+    assert not engine.manifest.path.exists()  # every write was refused
+    _assert_oracle_clean(results)

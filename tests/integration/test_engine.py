@@ -8,6 +8,8 @@ captured per job.
 """
 
 import json
+import signal
+import time
 
 import pytest
 
@@ -23,7 +25,9 @@ from repro.core.config import (
     monolithic_config,
     use_based_config,
 )
+from repro.core.pipeline import Pipeline
 from repro.errors import EngineError
+from repro.obs.manifest import checkpoint_events, read_manifest
 from repro.workloads.suite import load_trace
 
 SCALE = 0.06
@@ -185,6 +189,123 @@ def test_counters_since_reports_deltas():
     assert delta["cache_hits"] == 2
     assert delta["executed"] == 0
     assert delta["max_job_seconds"] == 0.9  # running max, not a delta
+
+
+class _CorruptingPipeline:
+    """Runs the real pipeline, then breaks a conservation invariant."""
+
+    def __init__(self, trace, config):
+        self._inner = Pipeline(trace, config)
+
+    def run(self):
+        stats = self._inner.run()
+        stats.retired = -stats.retired - 1
+        return stats
+
+
+def test_invalid_result_rejected_and_never_cached(tmp_path, monkeypatch):
+    """A result the oracle rejects must not poison the cache.
+
+    Regression test for the store-before-validate ordering bug: the
+    engine used to write the cache entry first, so a corrupted result
+    would be served as a hit forever after.
+    """
+    engine = ExperimentEngine(workers=1, cache_dir=tmp_path)
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=SCALE)
+
+    monkeypatch.setattr(engine_mod, "Pipeline", _CorruptingPipeline)
+    failure = engine.run([job], raise_on_error=False)[0]
+    assert isinstance(failure, JobFailure)
+    assert failure.kind == "invalid"
+    assert "retired" in failure.error
+    # Nothing was cached for the poisoned run.
+    assert engine._cache_load(job) is None
+
+    # With the fault gone the same engine simulates cleanly and caches.
+    monkeypatch.setattr(engine_mod, "Pipeline", Pipeline)
+    stats = engine.run([job], raise_on_error=False)[0]
+    assert stats and stats.retired > 0
+    assert engine.counters.executed == 2
+    assert engine._cache_load(job) is not None
+
+
+class _SleepyPipeline:
+    """Blocks long past any test-sized job timeout."""
+
+    def __init__(self, trace, config):
+        del trace, config
+
+    def run(self):  # pragma: no cover - interrupted by SIGALRM
+        time.sleep(30)
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                    reason="needs SIGALRM timeouts")
+def test_job_timeout_enforced_and_retried_serially(tmp_path, monkeypatch):
+    engine = ExperimentEngine(
+        workers=1, cache_dir=tmp_path, job_timeout=0.2, retries=1,
+        retry_backoff=0.0,
+    )
+    job = SimJob(config=use_based_config(), trace_name="compress",
+                 scale=SCALE)
+
+    monkeypatch.setattr(engine_mod, "Pipeline", _SleepyPipeline)
+    failure = engine.run([job], raise_on_error=False)[0]
+    assert isinstance(failure, JobFailure)
+    assert failure.kind == "timeout"
+    assert "wall-clock budget" in failure.error
+    # Initial attempt + one retry, both cut off by the alarm.
+    assert engine.counters.timeouts == 2
+    assert engine.counters.retries == 1
+    assert engine._cache_load(job) is None
+
+    # A retry that recovers yields real stats and no failure slot.
+    calls = {"n": 0}
+
+    class FlakyPipeline:
+        def __init__(self, trace, config):
+            self._inner = Pipeline(trace, config)
+
+        def run(self):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                time.sleep(30)  # pragma: no cover - alarm interrupts
+            return self._inner.run()
+
+    monkeypatch.setattr(engine_mod, "Pipeline", FlakyPipeline)
+    stats = engine.run([job])[0]
+    assert stats.retired > 0
+    assert calls["n"] == 2
+    assert engine.counters.timeouts == 3
+    assert engine.counters.retries == 2
+
+
+def test_resume_accounts_for_previously_completed_jobs(tmp_path):
+    """A resumed sweep re-runs only the jobs the first run never did."""
+    done = [
+        SimJob(config=use_based_config(), trace_name=name, scale=SCALE)
+        for name in ("compress", "pointer_chase")
+    ]
+    fresh = SimJob(config=lru_config(), trace_name="hash_dict",
+                   scale=SCALE)
+
+    first = ExperimentEngine(workers=1, cache_dir=tmp_path)
+    first.run(done)
+    assert first.counters.executed == 2
+
+    second = ExperimentEngine(workers=1, cache_dir=tmp_path, resume=True)
+    results = second.run(done + [fresh])
+    assert all(stats.retired > 0 for stats in results)
+    assert second.counters.resumed == 2
+    assert second.counters.cache_hits == 2
+    assert second.counters.executed == 1
+
+    # Both runs left start/complete checkpoint fences in the manifest.
+    events = checkpoint_events(read_manifest(second.manifest.path))
+    assert [e["event"] for e in events] == [
+        "start", "complete", "start", "complete",
+    ]
 
 
 @pytest.mark.smoke

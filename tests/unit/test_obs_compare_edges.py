@@ -1,0 +1,112 @@
+"""Edge-case tests for the ``analysis.obs compare`` gate.
+
+Covers the corners a real CI baseline hits: an empty baseline artifact,
+NaN / zero-denominator rates, and a baseline covering fewer benchmarks
+than the candidate (only the intersection may gate).
+"""
+
+import json
+import math
+
+from repro.analysis.obs import Thresholds, compare_metrics, main
+
+
+class TestEmptyBaseline:
+    def test_empty_baseline_compares_nothing(self):
+        regressions, compared = compare_metrics(
+            {}, {"suite.ipc": 1.2, "errors": 3},
+        )
+        assert regressions == []
+        assert compared == 0
+
+    def test_empty_candidate_compares_nothing(self):
+        regressions, compared = compare_metrics({"suite.ipc": 1.2}, {})
+        assert regressions == []
+        assert compared == 0
+
+    def test_cli_with_empty_baseline_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps({}))
+        current.write_text(json.dumps({"suite.ipc": 0.5, "errors": 9}))
+        assert main(["compare", str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "0 metric" in out or "compared" in out
+
+
+class TestNonFiniteValues:
+    def test_nan_rate_is_skipped_not_passed_silently(self):
+        # NaN comparisons are all False; without the isfinite guard a
+        # NaN baseline would "pass" any candidate and vice versa. The
+        # gate must skip the metric entirely (not count it compared).
+        regressions, compared = compare_metrics(
+            {"bench.gcc.miss_rate": float("nan"), "suite.ipc": 1.0},
+            {"bench.gcc.miss_rate": 0.5, "suite.ipc": 1.0},
+        )
+        assert regressions == []
+        assert compared == 1  # only suite.ipc
+
+    def test_nan_candidate_is_skipped(self):
+        regressions, compared = compare_metrics(
+            {"suite.ipc": 1.0}, {"suite.ipc": float("nan")},
+        )
+        assert regressions == []
+        assert compared == 0
+
+    def test_infinite_time_is_skipped(self):
+        regressions, compared = compare_metrics(
+            {"wall_seconds": 1.0}, {"wall_seconds": math.inf},
+        )
+        assert regressions == []
+        assert compared == 0
+
+    def test_zero_denominator_rate_baseline_uses_floor(self):
+        # A 0.0 rate from an idle denominator is a legitimate value:
+        # tiny candidate rates sit under the absolute floor...
+        thresholds = Thresholds()
+        regressions, compared = compare_metrics(
+            {"bench.gcc.miss_rate": 0.0},
+            {"bench.gcc.miss_rate": thresholds.rate_floor / 2},
+        )
+        assert compared == 1
+        assert regressions == []
+
+    def test_zero_denominator_rate_still_gates_real_rises(self):
+        # ...but a rise past the floor still trips the gate.
+        thresholds = Thresholds()
+        regressions, _ = compare_metrics(
+            {"bench.gcc.miss_rate": 0.0},
+            {"bench.gcc.miss_rate": thresholds.rate_floor * 3},
+        )
+        assert [r.metric for r in regressions] == ["bench.gcc.miss_rate"]
+
+
+class TestAsymmetricCoverage:
+    def test_baseline_with_fewer_benchmarks_gates_intersection_only(self):
+        baseline = {"bench.gcc.ipc": 1.0}
+        candidate = {
+            "bench.gcc.ipc": 1.0,
+            "bench.mcf.ipc": 0.01,     # new benchmark, however bad,
+            "bench.mcf.errors": 40.0,  # cannot regress the gate
+        }
+        regressions, compared = compare_metrics(baseline, candidate)
+        assert regressions == []
+        assert compared == 1
+
+    def test_shared_benchmark_still_gates(self):
+        baseline = {"bench.gcc.ipc": 1.0, "bench.mcf.ipc": 1.0}
+        candidate = {"bench.gcc.ipc": 0.5}
+        regressions, compared = compare_metrics(baseline, candidate)
+        assert compared == 1
+        assert [r.metric for r in regressions] == ["bench.gcc.ipc"]
+
+    def test_cli_intersection_exit_codes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps({"bench.gcc.ipc": 1.0}))
+        current.write_text(json.dumps(
+            {"bench.gcc.ipc": 1.0, "bench.mcf.ipc": 0.1},
+        ))
+        assert main(["compare", str(baseline), str(current)]) == 0
+        current.write_text(json.dumps({"bench.gcc.ipc": 0.2}))
+        assert main(["compare", str(baseline), str(current)]) == 1
