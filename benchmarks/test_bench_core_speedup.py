@@ -1,0 +1,151 @@
+"""Speedup gates for the event-driven timing core (``REPRO_SIM_CORE``).
+
+Both tests run the same workload twice — once with the per-cycle
+reference loop, once with the cycle-skipping event core — assert the
+two produce **bit-identical** :meth:`SimStats.to_dict` payloads, and
+gate the wall-clock ratio.
+
+Regime: ``pointer_chase`` at scale 12 (1.15 MB footprint, larger than
+the 1 MB unified L2) with ``memory_latency=1500``. Dependent loads that
+miss the whole hierarchy serialize on memory, so the window drains and
+most cycles are dead — the stall-dominated profile of memory-bound
+workloads like mcf, and exactly the regime the event core exists for.
+At the default 180-cycle memory the per-instruction model work bounds
+the achievable ratio near 1.1 (Amdahl); the gates below are only
+meaningful where dead cycles dominate, so the regime is pinned here
+rather than inherited from ``REPRO_SCALE``.
+
+The sweep gate additionally routes through the experiment engine: the
+per-cycle side runs unbatched (one full frontend per config, as before
+this optimization) while the event side uses shared-frontend batching
+(``REPRO_SWEEP_BATCH``), matching how Figure 12's backing-latency sweep
+actually executes.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.engine import ExperimentEngine, SimJob
+from repro.core.config import use_based_config
+from repro.core.pipeline import Pipeline
+from repro.workloads.suite import load_trace
+
+#: Stress regime (see module docstring). Scale keeps the pointer-chase
+#: footprint just past the 1 MB L2; the latency makes stalls dominate.
+SCALE = 12.0
+MEMORY_LATENCY = 1500
+
+#: Acceptance thresholds from the issue: single-trace >= 1.5x, Figure 12
+#: style backing-latency sweep >= 2.0x. Measured headroom on the dev
+#: container: ~2.3x for both.
+SINGLE_MIN_SPEEDUP = 1.5
+SWEEP_MIN_SPEEDUP = 2.0
+
+BACKING_LATENCIES = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def stress_trace():
+    """The pointer-chase trace, with derived analyses pre-warmed.
+
+    ``trace.analysis()`` is memoized on the trace object; warming it
+    here keeps the first timed run from paying it on behalf of both.
+    """
+    trace = load_trace("pointer_chase", scale=SCALE)
+    trace.analysis()
+    return trace
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_bench_event_core_single_trace(benchmark, stress_trace):
+    """Event core >= 1.5x the cycle core on one stalled trace, same bits."""
+    config = use_based_config(memory_latency=MEMORY_LATENCY)
+    cycle_stats, cycle_seconds = _timed(
+        lambda: Pipeline(stress_trace, config, core="cycle").run()
+    )
+
+    seconds = {}
+
+    def run_event():
+        stats, seconds["event"] = _timed(
+            lambda: Pipeline(stress_trace, config, core="event").run()
+        )
+        return stats
+
+    event_stats = benchmark.pedantic(run_event, rounds=1, iterations=1)
+
+    assert event_stats.to_dict() == cycle_stats.to_dict()
+    speedup = cycle_seconds / seconds["event"]
+    benchmark.extra_info["cycle_seconds"] = round(cycle_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    print(
+        f"\nsingle-trace: cycle={cycle_seconds:.2f}s "
+        f"event={seconds['event']:.2f}s speedup={speedup:.2f}x"
+    )
+    assert speedup >= SINGLE_MIN_SPEEDUP
+
+
+def _sweep_jobs(trace):
+    return [
+        SimJob.for_trace(
+            trace,
+            use_based_config(
+                memory_latency=MEMORY_LATENCY,
+                backing_read_latency=latency,
+            ),
+            label=f"backing{latency}",
+        )
+        for latency in BACKING_LATENCIES
+    ]
+
+
+def _run_sweep(trace, core, batching):
+    """One serial, uncached engine pass over the backing-latency points."""
+    previous = os.environ.get("REPRO_SIM_CORE")
+    os.environ["REPRO_SIM_CORE"] = core
+    try:
+        engine = ExperimentEngine(
+            workers=1, use_cache=False, batching=batching,
+        )
+        return _timed(lambda: engine.run(_sweep_jobs(trace)))
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SIM_CORE", None)
+        else:
+            os.environ["REPRO_SIM_CORE"] = previous
+
+
+def test_bench_event_core_backing_latency_sweep(benchmark, stress_trace):
+    """Batched event sweep >= 2x the unbatched cycle sweep, same bits."""
+    cycle_results, cycle_seconds = _run_sweep(
+        stress_trace, core="cycle", batching=False,
+    )
+
+    timing = {}
+
+    def run_event_sweep():
+        results, timing["event"] = _run_sweep(
+            stress_trace, core="event", batching=True,
+        )
+        return results
+
+    event_results = benchmark.pedantic(run_event_sweep, rounds=1, iterations=1)
+
+    assert len(event_results) == len(BACKING_LATENCIES)
+    for cycle_stats, event_stats in zip(cycle_results, event_results):
+        assert event_stats.to_dict() == cycle_stats.to_dict()
+    speedup = cycle_seconds / timing["event"]
+    benchmark.extra_info["cycle_seconds"] = round(cycle_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+    print(
+        f"\nsweep: cycle={cycle_seconds:.2f}s "
+        f"event={timing['event']:.2f}s speedup={speedup:.2f}x"
+    )
+    assert speedup >= SWEEP_MIN_SPEEDUP

@@ -71,6 +71,10 @@ Environment knobs (read when the shared engine is created):
   rounds; round *n* waits ``backoff * 2**(n-1)`` (default 0.05).
 * ``REPRO_RESUME`` — arm resume accounting: cache hits whose job keys
   appear as completed in the manifest count as ``resumed``.
+* ``REPRO_SWEEP_BATCH`` — ``0`` disables shared-frontend batching:
+  jobs that differ only in register-storage configuration normally run
+  as one group per worker, sharing a single trace decode,
+  ``trace.analysis()`` pass, and precomputed branch-prediction plan.
 * ``REPRO_FAULTS`` — arm the deterministic fault-injection plan (see
   :mod:`repro.testing.faults`); inert unless set.
 * ``REPRO_MANIFEST`` — ``0`` disables run manifests; a path overrides
@@ -102,6 +106,7 @@ from pathlib import Path
 
 from repro.core.config import MachineConfig
 from repro.core.pipeline import Pipeline
+from repro.frontend.fetch import branch_plan_for
 from repro.core.stats import STATS_SCHEMA_VERSION, SimStats
 from repro.errors import EngineError, JobTimeoutError
 from repro.obs.log import ProgressReporter, get_logger
@@ -281,6 +286,8 @@ def _execute_job(
     attempt: int = 0,
     timeout: float = 0.0,
     allow_crash: bool = False,
+    trace: Trace | None = None,
+    branch_plan: list[int] | None = None,
 ) -> tuple[str, object, float, int | None]:
     """Run one job; never raises (worker-side error capture).
 
@@ -296,7 +303,10 @@ def _execute_job(
     With *timeout* > 0 a ``SIGALRM`` one-shot timer bounds the job's
     wall clock; *allow_crash* lets the ``crash`` fault site call
     ``os._exit`` (pool workers only — in-process execution raises
-    instead, so the host survives).
+    instead, so the host survives). *trace* and *branch_plan* let a
+    batch (:func:`_execute_batch`) hand every member the shared
+    pre-resolved trace and branch-prediction plan; both are
+    timing-neutral (the plan replays the predictors' own decisions).
     """
     start = time.perf_counter()
     pid = os.getpid()
@@ -311,8 +321,14 @@ def _execute_job(
                 armed = True
             faults.crash_point(identity, attempt, allow_exit=allow_crash)
             faults.hang_point(identity, attempt)
-            trace = job.resolve_trace()
-            stats = Pipeline(trace, job.config).run()
+            if trace is None:
+                trace = job.resolve_trace()
+            if branch_plan is not None:
+                stats = Pipeline(
+                    trace, job.config, branch_plan=branch_plan,
+                ).run()
+            else:
+                stats = Pipeline(trace, job.config).run()
             if faults.fire("bad_stats", identity, attempt):
                 stats.retired = -stats.retired - 1
             return ("ok", stats, time.perf_counter() - start, pid)
@@ -335,6 +351,43 @@ def _execute_job(
         return (
             "error", traceback.format_exc(), time.perf_counter() - start, pid,
         )
+
+
+def _execute_batch(
+    jobs: Sequence[SimJob],
+    attempts: Sequence[int],
+    timeout: float = 0.0,
+    allow_crash: bool = False,
+) -> list[tuple[str, object, float, int | None]]:
+    """Run a shared-frontend batch of jobs in this process.
+
+    All members reference the same trace and agree on every non-storage
+    configuration field (:meth:`MachineConfig.frontend_key`), so the
+    trace is resolved once and the branch-prediction plan
+    (:func:`repro.frontend.fetch.branch_plan_for`) is computed once;
+    each member then simulates with its own storage scheme. Failures
+    are captured per member — a bad trace fails every member with the
+    same traceback, a bad simulation fails only its own slot. Runs in
+    worker processes; must stay module-level (picklable by reference).
+    """
+    trace = None
+    plan = None
+    setup_error: str | None = None
+    try:
+        trace = jobs[0].resolve_trace()
+        plan = branch_plan_for(trace)
+    except Exception:
+        setup_error = traceback.format_exc()
+    outcomes = []
+    for job, attempt in zip(jobs, attempts):
+        if setup_error is not None:
+            outcomes.append(("error", setup_error, 0.0, os.getpid()))
+            continue
+        outcomes.append(_execute_job(
+            job, attempt, timeout, allow_crash,
+            trace=trace, branch_plan=plan,
+        ))
+    return outcomes
 
 
 # ----------------------------------------------------------------------
@@ -443,6 +496,14 @@ class ExperimentEngine:
             capped at :data:`MAX_RETRY_BACKOFF`).
         resume: count cache hits recorded as completed in the manifest
             as resumed jobs; ``None`` reads ``REPRO_RESUME``.
+        batching: share one trace decode, ``trace.analysis()`` pass,
+            and branch-prediction plan across jobs that differ only in
+            register-storage configuration (equal
+            :meth:`MachineConfig.frontend_key` on the same trace) by
+            running each such group on one worker; ``None`` reads
+            ``REPRO_SWEEP_BATCH`` (default on). Automatically disabled
+            while fault injection is armed so the fault plan's per-job
+            crash/hang sites keep their one-job blast radius.
     """
 
     def __init__(
@@ -454,6 +515,7 @@ class ExperimentEngine:
         retries: int | None = None,
         retry_backoff: float | None = None,
         resume: bool | None = None,
+        batching: bool | None = None,
     ) -> None:
         if workers is None:
             workers = _parse_jobs(os.environ.get("REPRO_JOBS"))
@@ -486,6 +548,11 @@ class ExperimentEngine:
                 "1", "true", "on", "yes",
             )
         self.resume = bool(resume)
+        if batching is None:
+            batching = os.environ.get(
+                "REPRO_SWEEP_BATCH", "1",
+            ).lower() not in ("0", "false", "off")
+        self.batching = bool(batching)
         self.counters = EngineCounters()
         #: Every JobFailure this engine has returned (graceful-degradation
         #: consumers read the tail to report holes).
@@ -905,12 +972,63 @@ class ExperimentEngine:
         ):
             yield pending[local], outcome
 
+    def _batching_active(self) -> bool:
+        """Shared-frontend batching, unless fault injection is armed."""
+        return self.batching and not faults.enabled()
+
+    @staticmethod
+    def _batch_groups(jobs: Sequence[SimJob]) -> list[list[int]]:
+        """Partition job indices into shared-frontend groups.
+
+        Jobs land in one group when they reference the same trace and
+        their configurations agree on every non-storage field
+        (:meth:`MachineConfig.frontend_key`) — the precondition for
+        sharing a resolved trace and branch plan. Group order follows
+        first appearance, members keep submission order, and a group of
+        one degenerates to the plain per-job path.
+        """
+        groups: dict[object, list[int]] = {}
+        for index, job in enumerate(jobs):
+            if job.trace is not None:
+                tkey: tuple = ("obj", id(job.trace))
+            else:
+                tkey = ("name", job.trace_name, float(job.scale), job.seed)
+            key = (tkey, job.config.frontend_key())
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [index]
+            else:
+                bucket.append(index)
+        return list(groups.values())
+
     def _round_serial(
         self,
         jobs: Sequence[SimJob],
         attempts: Sequence[int],
         progress: ProgressReporter | None = None,
     ) -> Iterator[tuple[int, tuple[str, object, float, int | None]]]:
+        if self._batching_active():
+            for group in self._batch_groups(jobs):
+                if len(group) == 1:
+                    index = group[0]
+                    outcome = _execute_job(
+                        jobs[index], attempts[index], self.job_timeout,
+                        False,
+                    )
+                    if progress is not None:
+                        progress.update()
+                    yield index, outcome
+                    continue
+                outcomes = _execute_batch(
+                    [jobs[i] for i in group],
+                    [attempts[i] for i in group],
+                    self.job_timeout, False,
+                )
+                for index, outcome in zip(group, outcomes):
+                    if progress is not None:
+                        progress.update()
+                    yield index, outcome
+            return
         for index, (job, attempt) in enumerate(zip(jobs, attempts)):
             if faults.enabled():
                 faults.interrupt_point(job.fault_identity(), attempt)
@@ -928,50 +1046,74 @@ class ExperimentEngine:
     ) -> Iterator[tuple[int, tuple[str, object, float, int | None]]]:
         reported: set[int] = set()
         timeout = self.job_timeout
+        if self._batching_active():
+            groups = self._batch_groups(jobs)
+        else:
+            groups = [[i] for i in range(len(jobs))]
         # Engine-side watchdog backstop for workers so far gone that
         # their own SIGALRM cannot fire: enough wall clock for every
-        # queued job to use its full budget, plus slack.
+        # queued job to use its full budget, plus slack. A batched
+        # submission unit holds up to max_group member jobs, each with
+        # its own SIGALRM budget, so the bound scales accordingly.
         watchdog = None
         if timeout > 0:
-            waves = -(-len(jobs) // workers)
-            watchdog = timeout * (waves + 1) + 5.0
+            waves = -(-len(groups) // workers)
+            max_group = max(len(group) for group in groups)
+            watchdog = timeout * (waves * max_group + 1) + 5.0
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_job, job, attempt, timeout, True): i
-                for i, (job, attempt) in enumerate(zip(jobs, attempts))
-            }
+            futures = {}
+            for group in groups:
+                if len(group) == 1:
+                    index = group[0]
+                    future = pool.submit(
+                        _execute_job, jobs[index], attempts[index],
+                        timeout, True,
+                    )
+                else:
+                    future = pool.submit(
+                        _execute_batch,
+                        [jobs[i] for i in group],
+                        [attempts[i] for i in group],
+                        timeout, True,
+                    )
+                futures[future] = group
             try:
                 # Yield in completion order so progress (and its ETA)
                 # is live; the caller re-maps indices.
                 for future in as_completed(futures, timeout=watchdog):
-                    index = futures[future]
+                    group = futures[future]
                     try:
-                        outcome = future.result()
+                        result = future.result()
+                        outcomes = (
+                            [result] if len(group) == 1 else list(result)
+                        )
                     except Exception:
                         # BrokenProcessPool and friends: the worker died
-                        # (e.g. an injected os._exit). Captured per job;
-                        # the retry round gets a fresh pool.
-                        outcome = (
-                            "crash", traceback.format_exc(), 0.0, None,
-                        )
-                    if progress is not None:
-                        progress.update()
-                    reported.add(index)
-                    self.counters.parallel_jobs += 1
-                    yield index, outcome
-            except FuturesTimeout:
-                self._terminate_pool(pool)
-                for future, index in futures.items():
-                    if index not in reported:
-                        future.cancel()
+                        # (e.g. an injected os._exit). Captured per
+                        # member; the retry round gets a fresh pool.
+                        outcomes = [
+                            ("crash", traceback.format_exc(), 0.0, None)
+                        ] * len(group)
+                    for index, outcome in zip(group, outcomes):
+                        if progress is not None:
+                            progress.update()
                         reported.add(index)
                         self.counters.parallel_jobs += 1
-                        yield index, (
-                            "timeout",
-                            f"no result within the {watchdog:.1f}s "
-                            "watchdog; worker terminated",
-                            0.0, None,
-                        )
+                        yield index, outcome
+            except FuturesTimeout:
+                self._terminate_pool(pool)
+                for future, group in futures.items():
+                    future.cancel()
+                    for index in group:
+                        if index not in reported:
+                            reported.add(index)
+                            self.counters.parallel_jobs += 1
+                            yield index, (
+                                "timeout",
+                                f"no result within the {watchdog:.1f}s "
+                                "watchdog; worker terminated",
+                                0.0, None,
+                            )
 
     @staticmethod
     def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -1094,6 +1236,7 @@ def configure(
     retries: int | None = None,
     retry_backoff: float | None = None,
     resume: bool | None = None,
+    batching: bool | None = None,
 ) -> ExperimentEngine:
     """Replace the shared engine (tests, benchmarks, notebooks).
 
@@ -1104,6 +1247,6 @@ def configure(
     _shared_engine = ExperimentEngine(
         workers=workers, cache_dir=cache_dir, use_cache=use_cache,
         job_timeout=job_timeout, retries=retries,
-        retry_backoff=retry_backoff, resume=resume,
+        retry_backoff=retry_backoff, resume=resume, batching=batching,
     )
     return _shared_engine

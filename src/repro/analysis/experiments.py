@@ -683,14 +683,49 @@ EXPERIMENTS = {
 }
 
 
+def _run_profiled(name: str, runner):
+    """Run *runner* under cProfile; dump stats next to the result cache.
+
+    Prints the top 25 functions by cumulative time and writes the raw
+    profile to ``<cache_dir>/profiles/<name>.prof`` for snakeviz/pstats
+    digging. Profiling captures this process only, so pair it with
+    serial execution (``REPRO_JOBS`` unset) to see the simulator's hot
+    loop rather than pool bookkeeping.
+    """
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(runner)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(
+        "cumulative",
+    ).print_stats(25)
+    print(f"== profile: {name} (top 25, cumulative) ==")
+    print(stream.getvalue())
+    prof_dir = Path(get_engine().cache_dir) / "profiles"
+    try:
+        prof_dir.mkdir(parents=True, exist_ok=True)
+        prof_path = prof_dir / f"{name}.prof"
+        profiler.dump_stats(prof_path)
+        print(f"profile written to {prof_path}")
+    except OSError:
+        pass  # read-only cache dir: keep the printed table
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: print the requested experiments (or ``all``).
 
     ``--verbose``/``-v`` and ``--quiet``/``-q`` adjust the logging setup
-    (INFO / ERROR; the default comes from ``REPRO_LOG_LEVEL``). Exit
-    codes: 0 success, 1 usage, 2 unknown experiment, 3 when at least
-    one experiment had failing jobs (the remaining experiments still
-    run and render).
+    (INFO / ERROR; the default comes from ``REPRO_LOG_LEVEL``).
+    ``--profile`` wraps each requested experiment in cProfile, printing
+    the top-25 cumulative functions and dumping the raw ``.prof`` under
+    the result cache directory. Exit codes: 0 success, 1 usage, 2
+    unknown experiment, 3 when at least one experiment had failing jobs
+    (the remaining experiments still run and render).
     """
     from repro.errors import EngineError
     from repro.obs.log import get_logger, setup_logging
@@ -703,6 +738,10 @@ def main(argv: list[str] | None = None) -> int:
     while "--quiet" in args or "-q" in args:
         args.remove("--quiet") if "--quiet" in args else args.remove("-q")
         level = "ERROR"
+    profile = False
+    while "--profile" in args:
+        args.remove("--profile")
+        profile = True
     setup_logging(level)
     logger = get_logger("experiments")
 
@@ -718,7 +757,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
         try:
-            result = runner()
+            result = _run_profiled(name, runner) if profile else runner()
         except EngineError as error:
             failed.append(name)
             logger.error("experiment %s had failing jobs", name)

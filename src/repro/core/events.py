@@ -1,0 +1,89 @@
+"""Pending-event horizon for the event-driven timing core.
+
+:class:`EventWheel` answers one question in O(1) amortized time: *given
+that cycle ``now`` has just been processed, what is the earliest future
+cycle with a pending event?* The event-driven scheduler
+(:meth:`repro.core.pipeline.Pipeline._run_event`) pushes a time into the
+wheel at every event insertion — fills, cache lookups, d-cache probes,
+writebacks, branch resolves, ready-group buckets, blocked cycles — and
+jumps the cycle counter straight to the horizon instead of ticking
+through dead cycles.
+
+The structure is a wheel/heap hybrid:
+
+* a **near window** of :data:`EventWheel.WINDOW` cycles kept as a bitmask
+  relative to a moving base (one ``|=`` per push, one shift + one
+  lowest-set-bit probe per query), which absorbs almost every event —
+  pipeline latencies are tens of cycles at most;
+* a **far heap** (with a dedup set so repeated pushes of the same cycle
+  cost one entry) for the rare distant events such as memory-miss
+  completions, migrated into the near window as the base advances.
+
+Entries are never removed when an event fires: the query shifts the base
+past processed cycles, so stale bits and lazily deleted heap entries
+simply fall away. Pushing a time at or before the cycle being processed
+is harmless for the same reason.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+
+class EventWheel:
+    """Minimal next-event horizon over monotonically processed cycles."""
+
+    #: Width of the near-window bitmask, cycles. Python integers make any
+    #: width legal; 256 comfortably covers every pipeline/L2 latency so
+    #: only memory-class events (hundreds of cycles) touch the heap.
+    WINDOW = 256
+
+    __slots__ = ("_base", "_near", "_far", "_far_set")
+
+    def __init__(self) -> None:
+        self._base = 0
+        self._near = 0
+        self._far: list[int] = []
+        self._far_set: set[int] = set()
+
+    def push(self, when: int) -> None:
+        """Record a pending event at cycle *when* (duplicates collapse)."""
+        delta = when - self._base
+        if delta < 0:
+            return  # already processed; nothing can be pending there
+        if delta < self.WINDOW:
+            self._near |= 1 << delta
+        elif when not in self._far_set:
+            self._far_set.add(when)
+            heappush(self._far, when)
+
+    def next_after(self, now: int) -> int | None:
+        """Earliest pending cycle strictly greater than *now*, else None.
+
+        Advances the base to ``now + 1`` (cycles at or before *now* are
+        done) and migrates far entries that fall inside the new window,
+        so repeated queries stay O(1) amortized. The returned cycle is
+        *not* consumed — it remains pending until the base passes it.
+        """
+        base = self._base
+        shift = now + 1 - base
+        if shift > 0:
+            self._near >>= shift
+            base = self._base = now + 1
+        far = self._far
+        if far:
+            near = self._near
+            limit = base + self.WINDOW
+            far_set = self._far_set
+            while far and far[0] < limit:
+                when = heappop(far)
+                far_set.discard(when)
+                if when >= base:
+                    near |= 1 << (when - base)
+            self._near = near
+            if not near:
+                return far[0] if far else None
+        near = self._near
+        if not near:
+            return None
+        return base + (near & -near).bit_length() - 1

@@ -7,6 +7,14 @@ onto disk (the content-addressed result cache stores JSON). Both paths
 use the compact :meth:`SimStats.to_dict` form, which flattens the
 potentially huge lifetime log into a single integer array instead of a
 list of objects; :meth:`SimStats.from_dict` reverses it exactly.
+
+``to_dict()`` is also the repo's *equality surface*: the per-cycle and
+event-driven timing cores (``REPRO_SIM_CORE``, DESIGN.md §10) and the
+engine's batched/unbatched sweep paths are required to produce
+``to_dict()``-equal payloads for the same (trace, config) — every field
+here, including the packed lifetime log, participates in that
+bit-identity contract, so adding a field means accounting for it in
+both cores.
 """
 
 from __future__ import annotations

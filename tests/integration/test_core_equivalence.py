@@ -1,0 +1,89 @@
+"""Dual-run equivalence: event-driven core vs per-cycle reference.
+
+The cycle-skipping event core (``REPRO_SIM_CORE=event``) must be a pure
+wall-clock optimization: for every trace and storage scheme it has to
+produce a :class:`SimStats` whose ``to_dict()`` payload is *bit
+identical* to the per-cycle reference loop's, and both must satisfy the
+differential oracle. Same contract for the engine's shared-frontend
+sweep batching and the precomputed branch plan it rides on.
+"""
+
+import pytest
+
+from repro.analysis.engine import ExperimentEngine, SimJob
+from repro.core.config import (
+    lru_config,
+    monolithic_config,
+    two_level_config,
+    use_based_config,
+)
+from repro.core.pipeline import Pipeline
+from repro.frontend.fetch import branch_plan_for
+from repro.testing.oracle import check_run
+from repro.workloads.suite import load_trace
+
+SCHEMES = {
+    "use_based": use_based_config,
+    "monolithic": lambda **kw: monolithic_config(3, **kw),
+    "two_level": two_level_config,
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+@pytest.mark.parametrize("bench", ["pointer_chase", "interp", "compress"])
+def test_cores_bit_identical_and_oracle_clean(bench, scheme):
+    trace = load_trace(bench, scale=0.12)
+    config = SCHEMES[scheme]()
+    cycle_stats = Pipeline(trace, config, core="cycle").run()
+    event_stats = Pipeline(trace, config, core="event").run()
+    assert event_stats.to_dict() == cycle_stats.to_dict()
+    assert check_run(trace, cycle_stats) == []
+    assert check_run(trace, event_stats) == []
+
+
+def test_env_var_selects_core(monkeypatch):
+    """``REPRO_SIM_CORE`` picks the loop; both answers agree."""
+    trace = load_trace("crc", scale=0.1)
+    config = use_based_config()
+    monkeypatch.setenv("REPRO_SIM_CORE", "cycle")
+    cycle_stats = Pipeline(trace, config).run()
+    monkeypatch.setenv("REPRO_SIM_CORE", "event")
+    event_stats = Pipeline(trace, config).run()
+    assert event_stats.to_dict() == cycle_stats.to_dict()
+
+
+def test_branch_plan_matches_live_predictors():
+    """A precomputed branch plan changes nothing about the simulation."""
+    trace = load_trace("interp", scale=0.12)
+    plan = branch_plan_for(trace)
+    assert len(plan) == len(trace.records)
+    assert branch_plan_for(trace) is plan  # memoized on the trace
+    config = use_based_config()
+    live = Pipeline(trace, config).run()
+    planned = Pipeline(trace, config, branch_plan=plan).run()
+    assert planned.to_dict() == live.to_dict()
+
+
+def _sweep_jobs(trace):
+    configs = [
+        use_based_config(backing_read_latency=latency)
+        for latency in (1, 3)
+    ] + [lru_config(), two_level_config(), monolithic_config(3)]
+    return [
+        SimJob.for_trace(trace, config, label=f"cfg{i}")
+        for i, config in enumerate(configs)
+    ]
+
+
+def test_batched_sweep_matches_unbatched():
+    """Shared-frontend batching returns the exact per-job results."""
+    trace = load_trace("crc", scale=0.12)
+    unbatched = ExperimentEngine(
+        workers=1, use_cache=False, batching=False,
+    ).run(_sweep_jobs(trace))
+    batched = ExperimentEngine(
+        workers=1, use_cache=False, batching=True,
+    ).run(_sweep_jobs(trace))
+    assert len(batched) == len(unbatched)
+    for batched_stats, unbatched_stats in zip(batched, unbatched):
+        assert batched_stats.to_dict() == unbatched_stats.to_dict()

@@ -1,0 +1,43 @@
+"""Property test: both timing cores agree on random programs.
+
+For arbitrary small traces the event-driven core must reproduce the
+per-cycle reference loop's ``SimStats.to_dict()`` bit for bit, under
+every register-storage scheme. This is the randomized counterpart of
+the kernel-based equivalence suite in
+``tests/integration/test_core_equivalence.py``.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+
+from repro.core.config import (  # noqa: E402
+    monolithic_config,
+    two_level_config,
+    use_based_config,
+)
+from repro.core.pipeline import Pipeline  # noqa: E402
+from repro.vm.machine import Machine  # noqa: E402
+
+from tests.property.test_vm_properties import (  # noqa: E402
+    straight_line_programs,
+)
+
+SCHEMES = [
+    use_based_config,
+    lambda **kw: monolithic_config(3, **kw),
+    two_level_config,
+]
+
+
+@settings(max_examples=20, deadline=None)
+@given(program=straight_line_programs())
+def test_event_core_bit_identical_on_random_traces(program):
+    trace = Machine(program).run()
+    for factory in SCHEMES:
+        config = factory()
+        cycle_stats = Pipeline(trace, config, core="cycle").run()
+        event_stats = Pipeline(trace, config, core="event").run()
+        assert event_stats.to_dict() == cycle_stats.to_dict()

@@ -1,0 +1,65 @@
+"""Unit tests for the ``Pipeline._earliest`` readiness memo.
+
+The memo caches, per op, the earliest first-stage-bypass cycle over the
+op's issued producers, keyed by the producer-state epoch
+(``Pipeline._pepoch``): while the epoch is unchanged no producer's
+``exec_end`` has moved, so a cached value is exact and repeated queries
+must not rescan the sources. During a normal run the scheduler buckets
+each op exactly at its computed cycle, so in-run queries are dominated
+by misses (each op is evaluated at a fresh epoch); the hit path is the
+guard that makes early re-examinations — e.g. after a load-miss
+extension moved a producer — free instead of a rescan.
+"""
+
+from repro.core.config import use_based_config
+from repro.core.pipeline import Pipeline
+from repro.workloads.suite import load_trace
+
+
+def _run_pipeline():
+    trace = load_trace("crc", scale=0.1)
+    pipeline = Pipeline(trace, use_based_config(record_timing=True))
+    pipeline.run()
+    return pipeline
+
+
+def test_memo_exercised_during_run():
+    pipeline = _run_pipeline()
+    assert pipeline.earliest_memo_misses > 0
+
+
+def test_memo_hit_rate_within_epoch():
+    """Repeated same-epoch queries hit; the rate reflects one fill."""
+    pipeline = _run_pipeline()
+    op = next(
+        op for op in pipeline.issue_log.values()
+        if any(preg >= 0 for preg, _assigned in op.sources)
+    )
+    op.earliest_epoch = -1  # force one fresh computation
+    hits0 = pipeline.earliest_memo_hits
+    misses0 = pipeline.earliest_memo_misses
+
+    first = pipeline._earliest(op)
+    repeats = 4
+    for _ in range(repeats):
+        assert pipeline._earliest(op) == first
+
+    hits = pipeline.earliest_memo_hits - hits0
+    misses = pipeline.earliest_memo_misses - misses0
+    assert (hits, misses) == (repeats, 1)
+    assert hits / (hits + misses) >= 0.8
+
+
+def test_memo_invalidated_by_epoch_bump():
+    """A producer-state change (new epoch) forces a recomputation."""
+    pipeline = _run_pipeline()
+    op = next(
+        op for op in pipeline.issue_log.values()
+        if any(preg >= 0 for preg, _assigned in op.sources)
+    )
+    op.earliest_epoch = -1
+    value = pipeline._earliest(op)
+    misses0 = pipeline.earliest_memo_misses
+    pipeline._pepoch += 1  # simulate a producer's exec_end moving
+    assert pipeline._earliest(op) == value  # nothing actually moved
+    assert pipeline.earliest_memo_misses == misses0 + 1
